@@ -1,0 +1,117 @@
+// Command jfapp reproduces the application-simulation tables:
+//
+//	jfapp -mapping linear   # Table V
+//	jfapp -mapping random   # Table VI
+//
+// It replays the four Stencil workloads (2DNN, 2DNNdiag, 3DNN, 3DNNdiag;
+// 15 MB per rank by default) over the selected topology and reports the
+// communication time of rEDKSP(k) alongside KSP(k) and rKSP(k) with
+// improvement percentages, exactly as the paper lays the tables out.
+//
+// jfapp can also emit the synthetic DUMPI-style traces it simulates:
+//
+//	jfapp -dump-traces dir/ -topo medium
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/appsim"
+	"repro/internal/dumpi"
+	"repro/internal/exp"
+	"repro/internal/jellyfish"
+	"repro/internal/traffic"
+)
+
+func main() {
+	var (
+		topoName     = flag.String("topo", "small", "topology: small, medium or large (the paper uses medium)")
+		mapping      = flag.String("mapping", "linear", "process-to-node mapping: linear or random")
+		mechanism    = flag.String("mechanism", "KSP-adaptive", "per-packet mechanism: random or KSP-adaptive")
+		stencils     = flag.String("stencils", "", "comma-separated stencil subset (default all four)")
+		bytesPerRank = flag.Int64("bytes-per-rank", traffic.DefaultTotalBytes, "bytes each rank sends")
+		k            = flag.Int("k", 8, "paths per switch pair")
+		topoSamples  = flag.Int("topo-samples", 1, "RRG instances")
+		mapSamples   = flag.Int("map-samples", 3, "random-mapping instances per RRG instance")
+		seed         = flag.Uint64("seed", 1, "experiment seed")
+		workers      = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		csv          = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		dumpTraces   = flag.String("dump-traces", "", "write the synthetic DUMPI traces to this directory and exit")
+	)
+	flag.Parse()
+
+	params, err := jellyfish.ByName(*topoName)
+	if err != nil {
+		fatal(err)
+	}
+	nTerms := params.N * (params.X - params.Y)
+
+	if *dumpTraces != "" {
+		if err := os.MkdirAll(*dumpTraces, 0o755); err != nil {
+			fatal(err)
+		}
+		for _, kind := range traffic.StencilKinds {
+			tr := dumpi.Generate(kind, nTerms, *bytesPerRank)
+			path := filepath.Join(*dumpTraces, fmt.Sprintf("%s-%d.trace", kind, nTerms))
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			if err := tr.Write(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Println("wrote", path)
+		}
+		return
+	}
+
+	mech, err := appsim.MechanismByName(*mechanism)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := exp.AppConfig{
+		Params:       params,
+		Mapping:      *mapping,
+		BytesPerRank: *bytesPerRank,
+		Mechanism:    mech,
+	}
+	if *stencils != "" {
+		for _, name := range strings.Split(*stencils, ",") {
+			kind, kerr := traffic.StencilByName(strings.TrimSpace(name))
+			if kerr != nil {
+				fatal(kerr)
+			}
+			cfg.Stencils = append(cfg.Stencils, kind)
+		}
+	}
+	res, err := exp.AppCommTimes(cfg, exp.Scale{
+		TopoSamples:    *topoSamples,
+		PatternSamples: *mapSamples,
+		K:              *k,
+		Seed:           *seed,
+		Workers:        *workers,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	title := fmt.Sprintf("Communication time, %s mapping on %v (%s, %d bytes/rank)",
+		*mapping, params, mech, *bytesPerRank)
+	t := res.Table(title)
+	if *csv {
+		fmt.Print(t.CSV())
+	} else {
+		fmt.Println(t.String())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "jfapp:", err)
+	os.Exit(1)
+}

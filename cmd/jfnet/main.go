@@ -1,0 +1,114 @@
+// Command jfnet reproduces the paper's topology and path-property tables:
+//
+//	jfnet -table I                     # Table I   (topology metrics)
+//	jfnet -table II                    # Table II  (average path length)
+//	jfnet -table III                   # Table III (% disjoint pairs)
+//	jfnet -table IV                    # Table IV  (max link sharing)
+//	jfnet -table all                   # everything
+//
+// Useful flags: -topos small,medium -k 8 -topo-samples 1 -pairs 20000
+// (pair sampling for the large topology) -csv.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/exp"
+	"repro/internal/jellyfish"
+	"repro/internal/ksp"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		table       = flag.String("table", "all", "which table to produce: I, II, III, IV or all")
+		topos       = flag.String("topos", "small,medium", "comma-separated topologies: small, medium, large")
+		k           = flag.Int("k", 8, "paths per switch pair")
+		topoSamples = flag.Int("topo-samples", 1, "RRG instances per topology")
+		pairs       = flag.Int("pairs", 0, "sample this many switch pairs (0 = all ordered pairs)")
+		seed        = flag.Uint64("seed", 1, "experiment seed")
+		workers     = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		csv         = flag.Bool("csv", false, "emit CSV instead of aligned text")
+	)
+	flag.Parse()
+
+	paramsList, err := parseTopos(*topos)
+	if err != nil {
+		fatal(err)
+	}
+	sc := exp.Scale{
+		TopoSamples: *topoSamples,
+		K:           *k,
+		PairSample:  *pairs,
+		Seed:        *seed,
+		Workers:     *workers,
+	}
+
+	emit := func(t *stats.Table) {
+		if *csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Println(t.String())
+		}
+	}
+
+	want := strings.ToUpper(*table)
+	if want == "I" || want == "ALL" {
+		rows, err := exp.TableI(paramsList, sc)
+		if err != nil {
+			fatal(err)
+		}
+		emit(exp.RenderTableI(rows))
+	}
+	if want == "II" || want == "III" || want == "IV" || want == "ALL" {
+		res, err := exp.PathProps(paramsList, ksp.Algorithms, sc)
+		if err != nil {
+			fatal(err)
+		}
+		if res0 := totalFallbacks(res); res0 > 0 {
+			fmt.Fprintf(os.Stderr, "note: %d pairs needed the edge-disjoint fallback\n", res0)
+		}
+		switch want {
+		case "II":
+			emit(res.TableII())
+		case "III":
+			emit(res.TableIII())
+		case "IV":
+			emit(res.TableIV())
+		default:
+			emit(res.TableII())
+			emit(res.TableIII())
+			emit(res.TableIV())
+		}
+	}
+}
+
+func totalFallbacks(r *exp.PathPropsResult) int {
+	total := 0
+	for _, row := range r.Q {
+		for _, q := range row {
+			total += q.Fallbacks
+		}
+	}
+	return total
+}
+
+func parseTopos(s string) ([]jellyfish.Params, error) {
+	var out []jellyfish.Params
+	for _, name := range strings.Split(s, ",") {
+		p, err := jellyfish.ByName(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "jfnet:", err)
+	os.Exit(1)
+}

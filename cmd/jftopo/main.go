@@ -1,0 +1,130 @@
+// Command jftopo manages Jellyfish topology instances:
+//
+//	jftopo -topo small -save small.jf       # generate and archive an instance
+//	jftopo -load small.jf -metrics          # distance metrics of an instance
+//	jftopo -topo small -bisection 50        # bisection-width estimate
+//	jftopo -topo small -disjoint 8,16       # verify the k-disjoint-paths claim
+//
+// Archived instances reload bit-identically, so experiment results can be
+// tied to the exact topology they ran on.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/exp"
+	"repro/internal/graph"
+	"repro/internal/jellyfish"
+	"repro/internal/xrand"
+)
+
+func main() {
+	var (
+		topoName  = flag.String("topo", "small", "topology: small, medium or large")
+		custom    = flag.String("custom", "", "custom parameters as N,x,y (overrides -topo)")
+		seed      = flag.Uint64("seed", 1, "construction seed")
+		save      = flag.String("save", "", "write the instance to this file")
+		load      = flag.String("load", "", "read the instance from this file instead of generating")
+		metrics   = flag.Bool("metrics", false, "print distance metrics (Table I row)")
+		bisection = flag.Int("bisection", 0, "estimate bisection width with this many trials")
+		disjoint  = flag.String("disjoint", "", "verify k edge-disjoint paths exist, comma-separated ks")
+		pairs     = flag.Int("pairs", 2000, "pair sample size for -disjoint (0 = all pairs)")
+		workers   = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	var topo *jellyfish.Topology
+	var err error
+	switch {
+	case *load != "":
+		f, ferr := os.Open(*load)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		topo, err = jellyfish.Read(f)
+		f.Close()
+	default:
+		params, perr := resolveParams(*topoName, *custom)
+		if perr != nil {
+			fatal(perr)
+		}
+		topo, err = jellyfish.New(params, xrand.New(*seed))
+	}
+	if err != nil {
+		fatal(err)
+	}
+	p := topo.Params()
+	fmt.Printf("%v: %d switches, %d compute nodes, %d links\n",
+		p, topo.N, topo.NumTerminals(), topo.G.NumEdges())
+
+	if *save != "" {
+		f, ferr := os.Create(*save)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		if err := topo.Write(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Println("saved to", *save)
+	}
+	if *metrics {
+		m := topo.Metrics(*workers)
+		fmt.Printf("avg shortest path %.2f, diameter %d, connected %v\n",
+			m.AvgShortestPath, m.Diameter, m.Connected)
+	}
+	if *bisection > 0 {
+		w := graph.BisectionEstimate(topo.G, *bisection, *seed, *workers)
+		fmt.Printf("bisection width <= %d (%d trials); full bisection bandwidth ratio %.2f\n",
+			w, *bisection, float64(w)/float64(topo.G.NumEdges()))
+	}
+	if *disjoint != "" {
+		ks, kerr := parseInts(*disjoint)
+		if kerr != nil {
+			fatal(kerr)
+		}
+		res, derr := exp.DisjointExistence(p, ks, exp.Scale{
+			PairSample: *pairs, Seed: *seed, Workers: *workers, K: 8,
+		})
+		if derr != nil {
+			fatal(derr)
+		}
+		fmt.Println(res.Table(fmt.Sprintf(
+			"Edge-disjoint path existence over %d pairs", res.Pairs)).String())
+	}
+}
+
+func resolveParams(name, custom string) (jellyfish.Params, error) {
+	if custom != "" {
+		vals, err := parseInts(custom)
+		if err != nil || len(vals) != 3 {
+			return jellyfish.Params{}, fmt.Errorf("bad -custom %q (want N,x,y)", custom)
+		}
+		p := jellyfish.Params{N: vals[0], X: vals[1], Y: vals[2]}
+		return p, p.Validate()
+	}
+	return jellyfish.ByName(name)
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "jftopo:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,85 @@
+// Pathquality reproduces the paper's Section IV-B analysis on a custom
+// Jellyfish: it compares all four path-selection schemes (KSP, rKSP,
+// EDKSP, rEDKSP) on the same topology instance and prints the Tables
+// II-IV metrics side by side, plus the Figure 3 story — how many paths of
+// a vanilla-KSP pair pile onto one link versus the edge-disjoint schemes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/graph"
+	"repro/internal/jellyfish"
+	"repro/internal/ksp"
+	"repro/internal/paths"
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+func main() {
+	// A custom mid-size Jellyfish (not one of the paper's three): 128
+	// switches, 16 network ports, 8 terminals each.
+	params := jellyfish.Params{N: 128, X: 24, Y: 16}
+	topo, err := jellyfish.New(params, xrand.New(2024))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("topology %v: %d links, metrics %+v\n\n",
+		params, topo.G.NumEdges(), topo.Metrics(0))
+
+	const k = 8
+	pairs := paths.AllOrderedPairs(params.N)
+	table := stats.NewTable(
+		fmt.Sprintf("Path quality on %v over %d ordered pairs (k=%d)", params, len(pairs), k),
+		"Selector", "Avg length", "Disjoint pairs", "Max link share", "Fallbacks")
+	for _, alg := range ksp.Algorithms {
+		q := paths.Analyze(topo.G, ksp.Config{Alg: alg, K: k}, 7, pairs, 0)
+		table.AddRow(alg.String(),
+			fmt.Sprintf("%.3f", q.AvgLen),
+			fmt.Sprintf("%.1f%%", 100*q.DisjointFraction),
+			fmt.Sprintf("%d", q.MaxShare),
+			fmt.Sprintf("%d", q.Fallbacks))
+	}
+	fmt.Println(table.String())
+
+	// Zoom into one pair, Figure-3 style: how concentrated are the k
+	// paths of the worst vanilla-KSP pair, and what do the heuristics do
+	// to the same pair?
+	worstSrc, worstDst, worstShare := graph.NodeID(0), graph.NodeID(1), 0
+	cKSP := ksp.NewComputer(topo.G, ksp.Config{Alg: ksp.KSP, K: k}, nil)
+	for _, pr := range pairs {
+		share := maxLinkShare(cKSP.Paths(pr.Src, pr.Dst))
+		if share > worstShare {
+			worstShare = share
+			worstSrc, worstDst = pr.Src, pr.Dst
+		}
+	}
+	fmt.Printf("worst vanilla-KSP pair: switch %d -> %d, %d of %d paths share one link\n\n",
+		worstSrc, worstDst, worstShare, k)
+	for _, alg := range ksp.Algorithms {
+		c := ksp.NewComputer(topo.G, ksp.Config{Alg: alg, K: k}, xrand.New(5))
+		ps := c.Paths(worstSrc, worstDst)
+		fmt.Printf("%s paths for that pair (max share %d):\n", alg, maxLinkShare(ps))
+		for _, p := range ps {
+			fmt.Printf("  %v\n", p)
+		}
+		fmt.Println()
+	}
+}
+
+// maxLinkShare is the Table IV statistic for one pair.
+func maxLinkShare(ps []graph.Path) int {
+	counts := map[uint64]int{}
+	best := 0
+	for _, p := range ps {
+		for i := 0; i+1 < len(p); i++ {
+			key := graph.UndirectedEdgeKey(p[i], p[i+1])
+			counts[key]++
+			if counts[key] > best {
+				best = counts[key]
+			}
+		}
+	}
+	return best
+}

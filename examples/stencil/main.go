@@ -1,0 +1,75 @@
+// Stencil is a miniature version of the paper's CODES study (Tables V and
+// VI): it generates synthetic DUMPI-style traces for the four stencil
+// workloads, replays them over one Jellyfish with KSP(8), rKSP(8) and
+// rEDKSP(8) paths under KSP-adaptive routing, and prints the communication
+// times with rEDKSP's improvement — for both linear and random
+// process-to-node mappings.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/dumpi"
+	"repro/internal/jellyfish"
+	"repro/internal/ksp"
+	"repro/internal/stats"
+	"repro/internal/traffic"
+	"repro/internal/xrand"
+)
+
+func main() {
+	params := jellyfish.Params{N: 32, X: 18, Y: 12} // 192 compute nodes
+	// Scale the per-rank volume down from the paper's 15 MB so the example
+	// finishes in seconds on a laptop; the relative comparison is the
+	// point.
+	const bytesPerRank = 1_500_000
+
+	nets := map[ksp.Algorithm]*core.Network{}
+	for _, alg := range []ksp.Algorithm{ksp.REDKSP, ksp.KSP, ksp.RKSP} {
+		n, err := core.NewNetwork(params, core.Options{Selector: alg, K: 8, Seed: 7})
+		if err != nil {
+			log.Fatal(err)
+		}
+		nets[alg] = n
+	}
+	nTerms := nets[ksp.KSP].Topology().NumTerminals()
+
+	for _, mapping := range []string{"linear", "random"} {
+		table := stats.NewTable(
+			fmt.Sprintf("Communication time (ms), %s mapping, %v, %d bytes/rank",
+				mapping, params, bytesPerRank),
+			"Application", "rEDKSP(8)", "KSP(8)", "imp.", "rKSP(8)", "imp.")
+		for _, kind := range traffic.StencilKinds {
+			// Traces round-trip through the DUMPI-style serializer to show
+			// the full pipeline the paper used.
+			trace := dumpi.Generate(kind, nTerms, bytesPerRank)
+			w := trace.Workload()
+
+			var m traffic.Mapping
+			if mapping == "linear" {
+				m = traffic.LinearMapping(nTerms)
+			} else {
+				m = traffic.RandomMapping(nTerms, xrand.New(13))
+			}
+			flows := w.Apply(m)
+
+			times := map[ksp.Algorithm]float64{}
+			for alg, net := range nets {
+				res, err := net.ReplayWorkload(flows, core.AppOptions{Seed: 21})
+				if err != nil {
+					log.Fatal(err)
+				}
+				times[alg] = res.Seconds
+			}
+			table.AddRow(kind.String(),
+				fmt.Sprintf("%.3f", times[ksp.REDKSP]*1e3),
+				fmt.Sprintf("%.3f", times[ksp.KSP]*1e3),
+				fmt.Sprintf("%.1f%%", stats.Improvement(times[ksp.KSP], times[ksp.REDKSP])),
+				fmt.Sprintf("%.3f", times[ksp.RKSP]*1e3),
+				fmt.Sprintf("%.1f%%", stats.Improvement(times[ksp.RKSP], times[ksp.REDKSP])))
+		}
+		fmt.Println(table.String())
+	}
+}

@@ -1,0 +1,216 @@
+// Package core is the library facade: it ties the substrate packages into
+// the object a downstream user works with — a Jellyfish Network with
+// multi-path routing state — and exposes the paper's contributions
+// (rKSP/EDKSP/rEDKSP path selection, KSP-adaptive routing) behind a small
+// API:
+//
+//	net, _ := core.NewNetwork(jellyfish.Medium, core.Options{
+//		Selector: ksp.REDKSP, K: 8, Seed: 42,
+//	})
+//	ps := net.TerminalPaths(0, 1234)          // the k paths between nodes
+//	q := net.PathQuality(0)                   // Tables II-IV metrics
+//	r := net.ModelThroughput(pattern)         // Eq. 1 throughput model
+//	sim := net.Simulate(core.SimOptions{...}) // cycle-level simulation
+//	app, _ := net.ReplayWorkload(flows, core.AppOptions{})
+//
+// Everything is deterministic under Options.Seed.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/appsim"
+	"repro/internal/flitsim"
+	"repro/internal/graph"
+	"repro/internal/jellyfish"
+	"repro/internal/ksp"
+	"repro/internal/model"
+	"repro/internal/paths"
+	"repro/internal/traffic"
+	"repro/internal/xrand"
+)
+
+// Options configures a Network.
+type Options struct {
+	// Selector is the path-selection scheme. The zero value is vanilla
+	// ksp.KSP; the paper's recommendation is ksp.REDKSP.
+	Selector ksp.Algorithm
+	// K is the number of paths per switch pair (default 8).
+	K int
+	// Seed makes all randomized path selection reproducible.
+	Seed uint64
+	// Workers bounds parallelism for bulk operations (<= 0 = GOMAXPROCS).
+	Workers int
+	// Precompute eagerly builds the all-pairs path database at
+	// construction; otherwise paths are computed lazily on first use
+	// (identical results either way).
+	Precompute bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.K == 0 {
+		o.K = 8
+	}
+	return o
+}
+
+// Network is a Jellyfish topology with its multi-path routing state.
+type Network struct {
+	topo *jellyfish.Topology
+	db   *paths.DB
+	opts Options
+}
+
+// NewNetwork builds a fresh RRG from params and prepares path selection.
+func NewNetwork(params jellyfish.Params, opts Options) (*Network, error) {
+	opts = opts.withDefaults()
+	topo, err := jellyfish.New(params, xrand.New(opts.Seed))
+	if err != nil {
+		return nil, err
+	}
+	return FromTopology(topo, opts)
+}
+
+// FromTopology wraps an existing topology (e.g. a custom graph or a
+// specific RRG instance) with path selection state.
+func FromTopology(topo *jellyfish.Topology, opts Options) (*Network, error) {
+	opts = opts.withDefaults()
+	if opts.K < 1 {
+		return nil, fmt.Errorf("core: K must be >= 1")
+	}
+	cfg := ksp.Config{Alg: opts.Selector, K: opts.K}
+	var db *paths.DB
+	if opts.Precompute {
+		db = paths.BuildAllPairs(topo.G, cfg, opts.Seed, opts.Workers)
+	} else {
+		db = paths.NewDB(topo.G, cfg, opts.Seed)
+	}
+	return &Network{topo: topo, db: db, opts: opts}, nil
+}
+
+// Topology returns the underlying Jellyfish topology.
+func (n *Network) Topology() *jellyfish.Topology { return n.topo }
+
+// PathDB returns the underlying path database.
+func (n *Network) PathDB() *paths.DB { return n.db }
+
+// Options returns the construction options (with defaults applied).
+func (n *Network) Options() Options { return n.opts }
+
+// SwitchPaths returns the k candidate paths between two switches.
+func (n *Network) SwitchPaths(src, dst graph.NodeID) []graph.Path {
+	return n.db.Paths(src, dst)
+}
+
+// TerminalPaths returns the k candidate switch-level paths between the
+// switches hosting two terminals (nil when both share a switch).
+func (n *Network) TerminalPaths(srcTerm, dstTerm int) []graph.Path {
+	return n.db.Paths(n.topo.SwitchOf(srcTerm), n.topo.SwitchOf(dstTerm))
+}
+
+// PathQuality analyzes the selected paths over all ordered switch pairs
+// (pairSample == 0) or a uniform sample, returning the paper's Tables
+// II-IV metrics.
+func (n *Network) PathQuality(pairSample int) paths.Quality {
+	var prs []paths.Pair
+	if pairSample > 0 {
+		prs = paths.SamplePairs(n.topo.N, pairSample, xrand.New(n.opts.Seed^0x5a5a))
+	} else {
+		prs = paths.AllOrderedPairs(n.topo.N)
+	}
+	return paths.Analyze(n.topo.G, n.db.Config(), n.opts.Seed, prs, n.opts.Workers)
+}
+
+// ModelThroughput evaluates the Eq. 1 throughput model for a traffic
+// pattern over this network's paths.
+func (n *Network) ModelThroughput(pat traffic.Pattern) model.Result {
+	return model.Throughput(n.topo, n.db, pat, n.opts.Workers)
+}
+
+// ModelThroughputSinglePath is the SP baseline of the model.
+func (n *Network) ModelThroughputSinglePath(pat traffic.Pattern) model.Result {
+	return model.SinglePath(n.topo, n.db, pat, n.opts.Workers)
+}
+
+// SimOptions configures a cycle-level simulation run over the network.
+type SimOptions struct {
+	// Mechanism is the routing mechanism (default KSP-adaptive).
+	Mechanism flitsim.Mechanism
+	// Traffic is the per-packet destination sampler (required).
+	Traffic traffic.Sampler
+	// InjectionRate is the offered load in [0, 1].
+	InjectionRate float64
+	// Seed drives the run (default: network seed).
+	Seed uint64
+	// Booksim-style knobs; zero values use the paper's settings.
+	ChannelLatency, BufDepth, NumVCs       int
+	WarmupCycles, SampleCycles, NumSamples int
+	SatLatency                             float64
+}
+
+// Simulate runs one cycle-level simulation and returns its result.
+func (n *Network) Simulate(o SimOptions) flitsim.Result {
+	return flitsim.New(n.simConfig(o)).Run()
+}
+
+// SaturationThroughput sweeps offered load and returns the paper's
+// saturation throughput metric plus the per-rate results.
+func (n *Network) SaturationThroughput(o SimOptions, rates []float64) (float64, []flitsim.Result) {
+	return flitsim.SaturationThroughput(n.simConfig(o), rates, n.opts.Workers)
+}
+
+func (n *Network) simConfig(o SimOptions) flitsim.Config {
+	if o.Mechanism == nil {
+		o.Mechanism = flitsim.KSPAdaptive()
+	}
+	if o.Seed == 0 {
+		o.Seed = n.opts.Seed
+	}
+	return flitsim.Config{
+		Topo:           n.topo,
+		Paths:          n.db,
+		Mechanism:      o.Mechanism,
+		Traffic:        o.Traffic,
+		InjectionRate:  o.InjectionRate,
+		Seed:           o.Seed,
+		ChannelLatency: o.ChannelLatency,
+		BufDepth:       o.BufDepth,
+		NumVCs:         o.NumVCs,
+		WarmupCycles:   o.WarmupCycles,
+		SampleCycles:   o.SampleCycles,
+		NumSamples:     o.NumSamples,
+		SatLatency:     o.SatLatency,
+	}
+}
+
+// AppOptions configures a workload replay.
+type AppOptions struct {
+	// Mechanism is the per-packet choice (default KSP-adaptive).
+	Mechanism appsim.Mechanism
+	// Seed drives the run (default: network seed).
+	Seed uint64
+	// PacketBytes, LinkBandwidth, BufDepth default to the paper's CODES
+	// settings (1500 B, 20 GB/s, 64 packets).
+	PacketBytes   int64
+	LinkBandwidth float64
+	BufDepth      int
+}
+
+// ReplayWorkload replays one communication phase (terminal-level sized
+// flows) and returns its completion result.
+func (n *Network) ReplayWorkload(flows []traffic.SizedFlow, o AppOptions) (appsim.Result, error) {
+	seed := o.Seed
+	if seed == 0 {
+		seed = n.opts.Seed
+	}
+	return appsim.Run(appsim.Config{
+		Topo:          n.topo,
+		Paths:         n.db,
+		Mechanism:     o.Mechanism,
+		Flows:         flows,
+		PacketBytes:   o.PacketBytes,
+		LinkBandwidth: o.LinkBandwidth,
+		BufDepth:      o.BufDepth,
+		Seed:          seed,
+	})
+}

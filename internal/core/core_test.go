@@ -1,0 +1,171 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/appsim"
+	"repro/internal/flitsim"
+	"repro/internal/jellyfish"
+	"repro/internal/ksp"
+	"repro/internal/traffic"
+	"repro/internal/xrand"
+)
+
+var testParams = jellyfish.Params{N: 12, X: 9, Y: 6}
+
+func testNet(t *testing.T, opts Options) *Network {
+	t.Helper()
+	n, err := NewNetwork(testParams, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestDefaults(t *testing.T) {
+	n := testNet(t, Options{Seed: 1})
+	o := n.Options()
+	if o.Selector != ksp.KSP || o.K != 8 {
+		t.Fatalf("defaults = %+v", o)
+	}
+}
+
+func TestExplicitSelectorPreserved(t *testing.T) {
+	for _, alg := range []ksp.Algorithm{ksp.KSP, ksp.RKSP, ksp.EDKSP, ksp.REDKSP} {
+		n := testNet(t, Options{Seed: 1, Selector: alg, K: 2})
+		if n.Options().Selector != alg {
+			t.Fatalf("selector %v became %v", alg, n.Options().Selector)
+		}
+		if n.PathDB().Config().Alg != alg {
+			t.Fatalf("db selector %v became %v", alg, n.PathDB().Config().Alg)
+		}
+	}
+}
+
+func TestTerminalAndSwitchPaths(t *testing.T) {
+	n := testNet(t, Options{Seed: 2, K: 4})
+	ps := n.SwitchPaths(0, 5)
+	if len(ps) != 4 {
+		t.Fatalf("switch paths = %d", len(ps))
+	}
+	// Terminals 0..2 are on switch 0 (x-y = 3).
+	tp := n.TerminalPaths(0, 3*5)
+	if len(tp) != 4 || tp[0].Src() != 0 || tp[0].Dst() != 5 {
+		t.Fatalf("terminal paths = %v", tp)
+	}
+	if n.TerminalPaths(0, 1) != nil {
+		t.Fatal("same-switch terminals should have nil path set")
+	}
+}
+
+func TestPrecomputeEqualsLazy(t *testing.T) {
+	eager := testNet(t, Options{Seed: 7, K: 4, Selector: ksp.REDKSP, Precompute: true})
+	lazy := testNet(t, Options{Seed: 7, K: 4, Selector: ksp.REDKSP})
+	for s := int32(0); s < 12; s += 2 {
+		for d := int32(0); d < 12; d += 3 {
+			if s == d {
+				continue
+			}
+			a, b := eager.SwitchPaths(s, d), lazy.SwitchPaths(s, d)
+			if len(a) != len(b) {
+				t.Fatalf("%d->%d: %d vs %d", s, d, len(a), len(b))
+			}
+			for i := range a {
+				if !a[i].Equal(b[i]) {
+					t.Fatalf("%d->%d path %d differs", s, d, i)
+				}
+			}
+		}
+	}
+}
+
+func TestPathQuality(t *testing.T) {
+	n := testNet(t, Options{Seed: 3, K: 4, Selector: ksp.REDKSP})
+	q := n.PathQuality(0)
+	if q.Pairs != 12*11 {
+		t.Fatalf("pairs = %d", q.Pairs)
+	}
+	if q.DisjointFraction != 1 || q.MaxShare != 1 {
+		t.Fatalf("rEDKSP quality = %+v", q)
+	}
+	qs := n.PathQuality(30)
+	if qs.Pairs != 30 {
+		t.Fatalf("sampled pairs = %d", qs.Pairs)
+	}
+}
+
+func TestModelThroughputFacade(t *testing.T) {
+	n := testNet(t, Options{Seed: 4, K: 4, Selector: ksp.REDKSP})
+	pat := traffic.RandomShift(n.Topology().NumTerminals(), xrand.New(9))
+	multi := n.ModelThroughput(pat)
+	single := n.ModelThroughputSinglePath(pat)
+	if multi.MeanNode <= 0 || multi.MeanNode > 1+1e-9 {
+		t.Fatalf("multi = %v", multi.MeanNode)
+	}
+	if single.MeanNode >= multi.MeanNode {
+		t.Fatalf("SP %v >= multi %v", single.MeanNode, multi.MeanNode)
+	}
+}
+
+func TestSimulateFacade(t *testing.T) {
+	n := testNet(t, Options{Seed: 5, K: 4})
+	res := n.Simulate(SimOptions{
+		Traffic:       traffic.Uniform{N: n.Topology().NumTerminals()},
+		InjectionRate: 0.2,
+	})
+	if res.Delivered == 0 || res.Saturated {
+		t.Fatalf("sim = %+v", res)
+	}
+}
+
+func TestSaturationFacade(t *testing.T) {
+	n := testNet(t, Options{Seed: 5, K: 4})
+	sat, results := n.SaturationThroughput(SimOptions{
+		Traffic:   traffic.Uniform{N: n.Topology().NumTerminals()},
+		Mechanism: flitsim.KSPAdaptive(),
+	}, flitsim.Rates(0.2, 1.0, 0.2))
+	if len(results) != 5 || sat < 0.2 {
+		t.Fatalf("sat = %v, results = %d", sat, len(results))
+	}
+}
+
+func TestReplayWorkloadFacade(t *testing.T) {
+	n := testNet(t, Options{Seed: 6, K: 4})
+	w := traffic.Stencil(traffic.StencilConfig{
+		Kind: traffic.Stencil2DNN, Ranks: n.Topology().NumTerminals(), TotalBytes: 30 * 1500,
+	})
+	res, err := n.ReplayWorkload(w.Apply(traffic.LinearMapping(n.Topology().NumTerminals())), AppOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 30 packets of data per rank split over 4 neighbours: 11250 bytes per
+	// flow rounds up to 8 packets, so 32 packets per rank.
+	if res.Packets != int64(n.Topology().NumTerminals())*32 {
+		t.Fatalf("packets = %d", res.Packets)
+	}
+	// Default mechanism is the paper's recommendation.
+	var def AppOptions
+	if def.Mechanism != appsim.MechKSPAdaptive {
+		t.Fatal("default app mechanism is not KSP-adaptive")
+	}
+}
+
+func TestInvalidK(t *testing.T) {
+	if _, err := NewNetwork(testParams, Options{K: -1}); err == nil {
+		t.Fatal("negative K accepted")
+	}
+}
+
+func TestFromTopology(t *testing.T) {
+	topo := jellyfish.MustNew(testParams, xrand.New(77))
+	n, err := FromTopology(topo, Options{Seed: 1, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Topology() != topo {
+		t.Fatal("topology not preserved")
+	}
+	if n.PathDB().K() != 2 {
+		t.Fatalf("K = %d", n.PathDB().K())
+	}
+}

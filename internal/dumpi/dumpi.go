@@ -1,0 +1,137 @@
+// Package dumpi generates and (de)serializes synthetic communication
+// traces standing in for the SST/DUMPI MPI traces the paper collects for
+// its CODES experiments. The paper's methodology uses only two properties
+// of those traces — the logical stencil communication pattern (which
+// neighbour ranks each rank sends to) and the per-rank send volume (15 MB
+// split across neighbours) — both of which are fully specified in the
+// text, so a synthetic trace exercises the same simulator code paths.
+//
+// The on-disk format is line-oriented and self-describing:
+//
+//	DUMPI-SYNTH 1
+//	app 2DNN
+//	ranks 3600
+//	send <src> <dst> <bytes>
+//	...
+package dumpi
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/traffic"
+)
+
+// Trace is a synthetic communication trace: one communication phase of an
+// application, as rank-level sized sends.
+type Trace struct {
+	// App names the application/pattern (e.g. "2DNN").
+	App string
+	// Ranks is the number of MPI ranks.
+	Ranks int
+	// Sends lists every rank-level send of the phase.
+	Sends []traffic.SizedFlow
+}
+
+// Generate builds the trace for one of the paper's stencil workloads.
+func Generate(kind traffic.StencilKind, ranks int, totalBytes int64) Trace {
+	w := traffic.Stencil(traffic.StencilConfig{Kind: kind, Ranks: ranks, TotalBytes: totalBytes})
+	return Trace{App: w.Name, Ranks: w.NumRanks, Sends: w.Flows}
+}
+
+// Workload converts the trace back into a traffic.Workload.
+func (t Trace) Workload() traffic.Workload {
+	return traffic.Workload{Name: t.App, NumRanks: t.Ranks, Flows: t.Sends}
+}
+
+// TotalBytes sums all send volumes.
+func (t Trace) TotalBytes() int64 {
+	var sum int64
+	for _, s := range t.Sends {
+		sum += s.Bytes
+	}
+	return sum
+}
+
+// Validate checks rank bounds and self-sends.
+func (t Trace) Validate() error {
+	if t.Ranks < 1 {
+		return fmt.Errorf("dumpi: invalid rank count %d", t.Ranks)
+	}
+	for i, s := range t.Sends {
+		if s.Src < 0 || s.Src >= t.Ranks || s.Dst < 0 || s.Dst >= t.Ranks {
+			return fmt.Errorf("dumpi: send %d endpoints out of range: %+v", i, s)
+		}
+		if s.Src == s.Dst {
+			return fmt.Errorf("dumpi: send %d is a self send", i)
+		}
+		if s.Bytes < 0 {
+			return fmt.Errorf("dumpi: send %d has negative volume", i)
+		}
+	}
+	return nil
+}
+
+// Write serializes the trace.
+func (t Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "DUMPI-SYNTH 1\napp %s\nranks %d\n", t.App, t.Ranks); err != nil {
+		return err
+	}
+	for _, s := range t.Sends {
+		if _, err := fmt.Fprintf(bw, "send %d %d %d\n", s.Src, s.Dst, s.Bytes); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a trace written by Write.
+func Read(r io.Reader) (Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var t Trace
+	line := 0
+	next := func() (string, bool) {
+		for sc.Scan() {
+			line++
+			s := strings.TrimSpace(sc.Text())
+			if s != "" {
+				return s, true
+			}
+		}
+		return "", false
+	}
+	hdr, ok := next()
+	if !ok || hdr != "DUMPI-SYNTH 1" {
+		return t, fmt.Errorf("dumpi: bad header %q", hdr)
+	}
+	for {
+		s, ok := next()
+		if !ok {
+			break
+		}
+		switch {
+		case strings.HasPrefix(s, "app "):
+			t.App = strings.TrimSpace(s[4:])
+		case strings.HasPrefix(s, "ranks "):
+			if _, err := fmt.Sscanf(s, "ranks %d", &t.Ranks); err != nil {
+				return t, fmt.Errorf("dumpi: line %d: %v", line, err)
+			}
+		case strings.HasPrefix(s, "send "):
+			var f traffic.SizedFlow
+			if _, err := fmt.Sscanf(s, "send %d %d %d", &f.Src, &f.Dst, &f.Bytes); err != nil {
+				return t, fmt.Errorf("dumpi: line %d: %v", line, err)
+			}
+			t.Sends = append(t.Sends, f)
+		default:
+			return t, fmt.Errorf("dumpi: line %d: unknown record %q", line, s)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return t, err
+	}
+	return t, t.Validate()
+}

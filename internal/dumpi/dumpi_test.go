@@ -1,0 +1,93 @@
+package dumpi
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/traffic"
+)
+
+func TestGenerate(t *testing.T) {
+	tr := Generate(traffic.Stencil2DNN, 36, 1000)
+	if tr.App != "2DNN" || tr.Ranks != 36 {
+		t.Fatalf("trace = %+v", tr)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Sends) != 36*4 {
+		t.Fatalf("sends = %d", len(tr.Sends))
+	}
+	if tr.TotalBytes() != 36*1000 {
+		t.Fatalf("total = %d", tr.TotalBytes())
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, kind := range traffic.StencilKinds {
+		orig := Generate(kind, 64, 5000)
+		var buf bytes.Buffer
+		if err := orig.Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if got.App != orig.App || got.Ranks != orig.Ranks || len(got.Sends) != len(orig.Sends) {
+			t.Fatalf("%v: header mismatch: %+v", kind, got)
+		}
+		for i := range got.Sends {
+			if got.Sends[i] != orig.Sends[i] {
+				t.Fatalf("%v: send %d: %+v vs %+v", kind, i, got.Sends[i], orig.Sends[i])
+			}
+		}
+	}
+}
+
+func TestReadRejectsBadHeader(t *testing.T) {
+	if _, err := Read(strings.NewReader("NOT-A-TRACE\n")); err == nil {
+		t.Fatal("bad header accepted")
+	}
+}
+
+func TestReadRejectsBadRecord(t *testing.T) {
+	in := "DUMPI-SYNTH 1\napp x\nranks 4\nfrobnicate 1 2 3\n"
+	if _, err := Read(strings.NewReader(in)); err == nil {
+		t.Fatal("unknown record accepted")
+	}
+}
+
+func TestReadRejectsOutOfRangeSend(t *testing.T) {
+	in := "DUMPI-SYNTH 1\napp x\nranks 4\nsend 0 9 100\n"
+	if _, err := Read(strings.NewReader(in)); err == nil {
+		t.Fatal("out-of-range send accepted")
+	}
+}
+
+func TestValidateSelfSend(t *testing.T) {
+	tr := Trace{App: "x", Ranks: 3, Sends: []traffic.SizedFlow{{Src: 1, Dst: 1, Bytes: 5}}}
+	if tr.Validate() == nil {
+		t.Fatal("self send accepted")
+	}
+}
+
+func TestWorkloadConversion(t *testing.T) {
+	tr := Generate(traffic.Stencil3DNN, 27, 600)
+	w := tr.Workload()
+	if w.Name != "3DNN" || w.NumRanks != 27 || len(w.Flows) != len(tr.Sends) {
+		t.Fatalf("workload = %+v", w)
+	}
+}
+
+func TestSkipsBlankLines(t *testing.T) {
+	in := "DUMPI-SYNTH 1\n\napp x\n\nranks 2\nsend 0 1 7\n\n"
+	tr, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Sends) != 1 || tr.Sends[0].Bytes != 7 {
+		t.Fatalf("trace = %+v", tr)
+	}
+}

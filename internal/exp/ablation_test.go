@@ -1,0 +1,214 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/jellyfish"
+)
+
+func TestAblationKSweep(t *testing.T) {
+	res, err := AblationKSweep(tiny, []int{1, 2, 4}, tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Mean) != 3 || len(res.Mean[0]) != 4 {
+		t.Fatalf("shape = %dx%d", len(res.Mean), len(res.Mean[0]))
+	}
+	// More paths never hurt modeled throughput for the randomized
+	// edge-disjoint selector (column 3).
+	if res.Mean[2][3] < res.Mean[0][3] {
+		t.Fatalf("rEDKSP k=4 (%v) below k=1 (%v)", res.Mean[2][3], res.Mean[0][3])
+	}
+	// At k=1 all selectors degenerate to (a) shortest path; deterministic
+	// variants must agree exactly.
+	if res.Mean[0][0] != res.Mean[0][2] {
+		t.Fatalf("k=1 KSP %v != EDKSP %v", res.Mean[0][0], res.Mean[0][2])
+	}
+	out := res.Table("k sweep").String()
+	if !strings.Contains(out, "rEDKSP") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestAblationUGALBias(t *testing.T) {
+	res, err := AblationUGALBias(tiny, []int{0, 1000000}, []float64{0.2, 0.4, 0.6}, tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sat) != 2 || len(res.Sat[0]) != 2 {
+		t.Fatalf("shape wrong: %+v", res.Sat)
+	}
+	for bi := range res.Sat {
+		for mi := range res.Sat[bi] {
+			if res.Sat[bi][mi] < 0 || res.Sat[bi][mi] > 1 {
+				t.Fatalf("sat[%d][%d] = %v", bi, mi, res.Sat[bi][mi])
+			}
+		}
+	}
+	out := res.Table("bias").String()
+	if !strings.Contains(out, "KSP-UGAL") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestLoadImbalance(t *testing.T) {
+	res, err := LoadImbalance(tiny, tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stats) != 4 {
+		t.Fatalf("stats = %d", len(res.Stats))
+	}
+	for si, s := range res.Stats {
+		if s.Links != tiny.N*tiny.Y {
+			t.Fatalf("%s: links = %d", res.Selectors[si], s.Links)
+		}
+		if s.Max < s.Mean {
+			t.Fatalf("%s: max %v < mean %v", res.Selectors[si], s.Max, s.Mean)
+		}
+	}
+	// rEDKSP (index 3) should not have a worse max load than KSP (0).
+	if res.Stats[3].Max > res.Stats[0].Max {
+		t.Fatalf("rEDKSP max %v above KSP %v", res.Stats[3].Max, res.Stats[0].Max)
+	}
+	out := res.Table("imbalance").String()
+	if !strings.Contains(out, "Top-1% share") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestDisjointExistence(t *testing.T) {
+	sc := tinyScale()
+	sc.PairSample = 40
+	res, err := DisjointExistence(tiny, []int{2, 4, 100}, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pairs != 40 {
+		t.Fatalf("pairs = %d", res.Pairs)
+	}
+	// On a connected y-regular RRG the max-flow between any pair is
+	// exactly y (the topology is whp y-connected), so every pair meets
+	// k <= y and none meets k = 100.
+	if res.MinDisjoint != tiny.Y {
+		t.Fatalf("min disjoint = %d, want %d", res.MinDisjoint, tiny.Y)
+	}
+	if res.MeetsK[0] != 1 || res.MeetsK[1] != 1 {
+		t.Fatalf("k=2/4 fractions = %v", res.MeetsK)
+	}
+	if res.MeetsK[2] != 0 {
+		t.Fatalf("k=100 fraction = %v, want 0", res.MeetsK[2])
+	}
+	out := res.Table("existence").String()
+	if !strings.Contains(out, "min over pairs") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestFaultResilience(t *testing.T) {
+	sc := tinyScale()
+	sc.PairSample = 40
+	res, err := FaultResilience(tiny, []int{0, 5, 20}, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Survive) != 3 || len(res.Survive[0]) != 4 {
+		t.Fatalf("shape wrong")
+	}
+	for ai := range res.Selectors {
+		// Zero failures: everything survives with all k paths intact.
+		if res.Survive[0][ai] != 1 {
+			t.Fatalf("%s: survival at 0 failures = %v", res.Selectors[ai], res.Survive[0][ai])
+		}
+		if res.MeanSurvivingPaths[0][ai] != float64(sc.K) {
+			t.Fatalf("%s: %v paths at 0 failures", res.Selectors[ai], res.MeanSurvivingPaths[0][ai])
+		}
+		// Monotone: more failures, fewer survivors.
+		if res.Survive[2][ai] > res.Survive[1][ai]+1e-9 {
+			t.Fatalf("%s: survival increased with failures", res.Selectors[ai])
+		}
+	}
+	// Surviving path counts are within [0, k] and decrease with failures.
+	for fi := range res.FailedLinks {
+		for ai := range res.Selectors {
+			v := res.MeanSurvivingPaths[fi][ai]
+			if v < 0 || v > float64(sc.K) {
+				t.Fatalf("surviving paths out of range: %v", v)
+			}
+		}
+	}
+	out := res.Table("faults").String()
+	if !strings.Contains(out, "Failed links") {
+		t.Fatalf("render:\n%s", out)
+	}
+	out2 := res.PathsTable("paths").String()
+	if !strings.Contains(out2, "rEDKSP") {
+		t.Fatalf("render:\n%s", out2)
+	}
+}
+
+func TestFaultResilienceTooManyFailures(t *testing.T) {
+	sc := tinyScale()
+	sc.PairSample = 10
+	if _, err := FaultResilience(tiny, []int{10000}, sc); err == nil {
+		t.Fatal("overlarge failure count accepted")
+	}
+}
+
+func TestScalingStudy(t *testing.T) {
+	sizes := []jellyfish.Params{{N: 8, X: 9, Y: 6}, {N: 16, X: 9, Y: 6}}
+	rows, err := ScalingStudy(sizes, tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Bigger network, longer average shortest path.
+	if rows[1].AvgShortest <= rows[0].AvgShortest {
+		t.Fatalf("avg SP did not grow: %v vs %v", rows[0].AvgShortest, rows[1].AvgShortest)
+	}
+	for _, r := range rows {
+		if len(r.Throughput) != 4 {
+			t.Fatalf("throughput columns = %d", len(r.Throughput))
+		}
+		for _, v := range r.Throughput {
+			if v <= 0 || v > 1+1e-9 {
+				t.Fatalf("throughput %v out of range", v)
+			}
+		}
+	}
+	out := RenderScaling(rows).String()
+	if !strings.Contains(out, "Terminals") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestValidateModel(t *testing.T) {
+	res, err := ValidateModel(tiny, tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ai, sel := range res.Selectors {
+		if res.ModelMean[ai] <= 0 || res.ModelMean[ai] > 1+1e-9 {
+			t.Fatalf("%s model mean = %v", sel, res.ModelMean[ai])
+		}
+		if res.FairMean[ai] <= 0 || res.FairMean[ai] > 1+1e-9 {
+			t.Fatalf("%s fair mean = %v", sel, res.FairMean[ai])
+		}
+		// The approximation should stay within a factor band.
+		ratio := res.ModelMean[ai] / res.FairMean[ai]
+		if ratio < 0.5 || ratio > 2 {
+			t.Fatalf("%s: model/fair ratio %v out of band", sel, ratio)
+		}
+	}
+	// Both methodologies agree rEDKSP >= KSP.
+	if res.FairMean[3] < res.FairMean[0] {
+		t.Fatalf("max-min reverses ordering: %v vs %v", res.FairMean[3], res.FairMean[0])
+	}
+	out := res.Table("validation").String()
+	if !strings.Contains(out, "Model error") {
+		t.Fatalf("render:\n%s", out)
+	}
+}

@@ -1,0 +1,162 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/appsim"
+	"repro/internal/jellyfish"
+	"repro/internal/ksp"
+	"repro/internal/paths"
+	"repro/internal/stats"
+	"repro/internal/traffic"
+	"repro/internal/xrand"
+)
+
+// AppConfig parameterizes the application-simulation experiments
+// (Tables V and VI).
+type AppConfig struct {
+	Params jellyfish.Params
+	// Mapping is "linear" or "random".
+	Mapping string
+	// BytesPerRank is the per-rank send volume (default 15 MB, the
+	// paper's setting).
+	BytesPerRank int64
+	// Mechanism is the per-packet routing mechanism (default KSP-adaptive).
+	Mechanism appsim.Mechanism
+	// Stencils to run (default all four).
+	Stencils []traffic.StencilKind
+	// Selectors to compare (default rEDKSP, KSP, rKSP — the paper's
+	// column order).
+	Selectors []ksp.Algorithm
+}
+
+// AppResult holds the communication times: Seconds[stencil][selector].
+type AppResult struct {
+	Config    AppConfig
+	Stencils  []string
+	Selectors []string
+	Seconds   [][]float64
+}
+
+// AppCommTimes reproduces Table V (linear mapping) or Table VI (random
+// mapping): the communication time of each stencil workload under each
+// path-selection scheme, averaged over TopoSamples topology instances and
+// PatternSamples mapping instances (mapping instances only matter for
+// random mapping).
+func AppCommTimes(cfg AppConfig, sc Scale) (*AppResult, error) {
+	sc = sc.withDefaults()
+	if cfg.BytesPerRank == 0 {
+		cfg.BytesPerRank = traffic.DefaultTotalBytes
+	}
+	if len(cfg.Stencils) == 0 {
+		cfg.Stencils = traffic.StencilKinds
+	}
+	if len(cfg.Selectors) == 0 {
+		cfg.Selectors = []ksp.Algorithm{ksp.REDKSP, ksp.KSP, ksp.RKSP}
+	}
+	if cfg.Mapping != "linear" && cfg.Mapping != "random" {
+		return nil, fmt.Errorf("exp: unknown mapping %q (want linear or random)", cfg.Mapping)
+	}
+	res := &AppResult{Config: cfg}
+	for _, k := range cfg.Stencils {
+		res.Stencils = append(res.Stencils, k.String())
+	}
+	for _, a := range cfg.Selectors {
+		res.Selectors = append(res.Selectors, fmt.Sprintf("%s(%d)", a, sc.K))
+	}
+
+	sums := make([][]float64, len(cfg.Stencils))
+	counts := make([][]int, len(cfg.Stencils))
+	for i := range sums {
+		sums[i] = make([]float64, len(cfg.Selectors))
+		counts[i] = make([]int, len(cfg.Selectors))
+	}
+
+	mapSamples := sc.PatternSamples
+	if cfg.Mapping == "linear" {
+		mapSamples = 1
+	}
+	for ti := 0; ti < sc.TopoSamples; ti++ {
+		topo, err := sc.buildTopo(cfg.Params, ti)
+		if err != nil {
+			return nil, err
+		}
+		nTerms := topo.NumTerminals()
+		dbs := make([]*paths.DB, len(cfg.Selectors))
+		for ai, alg := range cfg.Selectors {
+			dbs[ai] = paths.NewDB(topo.G, ksp.Config{Alg: alg, K: sc.K}, sc.pathSeed(ti, alg))
+		}
+		for si, kind := range cfg.Stencils {
+			w := traffic.Stencil(traffic.StencilConfig{
+				Kind: kind, Ranks: nTerms, TotalBytes: cfg.BytesPerRank,
+			})
+			for mi := 0; mi < mapSamples; mi++ {
+				var mapping traffic.Mapping
+				if cfg.Mapping == "linear" {
+					mapping = traffic.LinearMapping(nTerms)
+				} else {
+					mapping = traffic.RandomMapping(nTerms, sc.patternSeed(ti, mi))
+				}
+				flows := w.Apply(mapping)
+				for ai := range cfg.Selectors {
+					r, err := appsim.Run(appsim.Config{
+						Topo:      topo,
+						Paths:     dbs[ai],
+						Mechanism: cfg.Mechanism,
+						Flows:     flows,
+						Seed:      xrand.Mix64(sc.Seed ^ uint64(ti)<<40 ^ uint64(si)<<24 ^ uint64(mi)<<8 ^ uint64(ai)),
+					})
+					if err != nil {
+						return nil, fmt.Errorf("exp: %s/%s: %w", kind, cfg.Selectors[ai], err)
+					}
+					sums[si][ai] += r.Seconds
+					counts[si][ai]++
+				}
+			}
+		}
+	}
+	res.Seconds = make([][]float64, len(cfg.Stencils))
+	for si := range sums {
+		res.Seconds[si] = make([]float64, len(cfg.Selectors))
+		for ai := range sums[si] {
+			if counts[si][ai] > 0 {
+				res.Seconds[si][ai] = sums[si][ai] / float64(counts[si][ai])
+			}
+		}
+	}
+	return res, nil
+}
+
+// Table renders the paper's Table V/VI layout: per stencil, the reference
+// selector's time (column 0) and each other selector's time plus the
+// reference's improvement over it.
+func (r *AppResult) Table(title string) *stats.Table {
+	headers := []string{"Application", r.Selectors[0] + " time(ms)"}
+	for _, s := range r.Selectors[1:] {
+		headers = append(headers, s+" time(ms)", "imp.")
+	}
+	t := stats.NewTable(title, headers...)
+	var sumImp []float64
+	if len(r.Selectors) > 1 {
+		sumImp = make([]float64, len(r.Selectors)-1)
+	}
+	for si, st := range r.Stencils {
+		ref := r.Seconds[si][0]
+		row := []string{st, fmt.Sprintf("%.2f", ref*1e3)}
+		for ai := 1; ai < len(r.Selectors); ai++ {
+			v := r.Seconds[si][ai]
+			imp := stats.Improvement(v, ref)
+			sumImp[ai-1] += imp
+			row = append(row, fmt.Sprintf("%.2f", v*1e3), fmt.Sprintf("%.1f%%", imp))
+		}
+		t.AddRow(row...)
+	}
+	if len(r.Stencils) > 0 && len(r.Selectors) > 1 {
+		row := []string{"Average", ""}
+		for _, s := range sumImp {
+			row = append(row, "", fmt.Sprintf("%.1f%%", s/float64(len(r.Stencils))))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

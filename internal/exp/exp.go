@@ -1,0 +1,103 @@
+// Package exp is the experiment harness: one function per table/figure of
+// the paper, mapping the substrate packages (jellyfish, ksp, paths, model,
+// flitsim, appsim) onto the paper's exact experimental protocol. The cmd/
+// binaries and the root benchmark suite are thin wrappers over this
+// package.
+//
+// Every experiment takes a Scale that controls how much statistical
+// repetition to run: the paper's full protocol (10 topology samples, 50
+// pattern instances for the model, 10 for the cycle simulator) or any
+// cheaper setting for quick runs and benchmarks. All randomness derives
+// from Scale.Seed, so every number is reproducible.
+package exp
+
+import (
+	"repro/internal/jellyfish"
+	"repro/internal/ksp"
+	"repro/internal/xrand"
+)
+
+// Scale controls experiment effort.
+type Scale struct {
+	// TopoSamples is the number of RRG instances per topology (paper: 10).
+	TopoSamples int
+	// PatternSamples is the number of random traffic instances per
+	// topology sample (paper: 50 for the model, 10 for Booksim).
+	PatternSamples int
+	// PairSample bounds the switch pairs analyzed for path-property tables
+	// (0 = all ordered pairs; the paper's cluster runs used all pairs, a
+	// laptop will want sampling on RRG(2880,48,38)).
+	PairSample int
+	// K is the paths per pair (paper: 8).
+	K int
+	// Workers bounds parallelism (<= 0 = GOMAXPROCS).
+	Workers int
+	// Seed derives all randomness.
+	Seed uint64
+}
+
+// PaperModelScale is the paper's protocol for the throughput-model figures.
+func PaperModelScale() Scale {
+	return Scale{TopoSamples: 10, PatternSamples: 50, K: 8, Seed: 1}
+}
+
+// PaperSimScale is the paper's protocol for the Booksim figures.
+func PaperSimScale() Scale {
+	return Scale{TopoSamples: 1, PatternSamples: 10, K: 8, Seed: 1}
+}
+
+// QuickScale is a cheap setting for smoke runs.
+func QuickScale() Scale {
+	return Scale{TopoSamples: 2, PatternSamples: 3, K: 4, Seed: 1}
+}
+
+func (sc Scale) withDefaults() Scale {
+	if sc.TopoSamples == 0 {
+		sc.TopoSamples = 1
+	}
+	if sc.PatternSamples == 0 {
+		sc.PatternSamples = 1
+	}
+	if sc.K == 0 {
+		sc.K = 8
+	}
+	if sc.Seed == 0 {
+		sc.Seed = 1
+	}
+	return sc
+}
+
+// topoSeed derives the RNG for the i-th topology sample.
+func (sc Scale) topoSeed(i int) *xrand.RNG {
+	return xrand.NewPair(xrand.Mix64(sc.Seed^0x70706f), uint64(i))
+}
+
+// patternSeed derives the RNG for the j-th pattern instance on the i-th
+// topology sample.
+func (sc Scale) patternSeed(i, j int) *xrand.RNG {
+	return xrand.NewPair(xrand.Mix64(sc.Seed^0x706174), uint64(i)<<32|uint64(j))
+}
+
+// pathSeed derives the path-DB seed for a selector on the i-th topology
+// sample.
+func (sc Scale) pathSeed(i int, alg ksp.Algorithm) uint64 {
+	return xrand.Mix64(sc.Seed ^ uint64(i)<<8 ^ uint64(alg))
+}
+
+// buildTopo constructs the i-th topology sample.
+func (sc Scale) buildTopo(p jellyfish.Params, i int) (*jellyfish.Topology, error) {
+	return jellyfish.New(p, sc.topoSeed(i))
+}
+
+// SelectorNames returns the paper's presentation order including the
+// single-path baseline used in the model figures.
+func SelectorNames(withSP bool) []string {
+	names := []string{}
+	if withSP {
+		names = append(names, "SP")
+	}
+	for _, a := range ksp.Algorithms {
+		names = append(names, a.String())
+	}
+	return names
+}

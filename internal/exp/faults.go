@@ -1,0 +1,170 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/jellyfish"
+	"repro/internal/ksp"
+	"repro/internal/par"
+	"repro/internal/paths"
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+// FaultResilienceResult quantifies the reliability benefit of disjoint
+// paths that motivates the Remove-Find literature the paper builds on:
+// after failing random links, what fraction of switch pairs still has at
+// least one usable precomputed path (without recomputing routes)?
+//
+// Survive[f][selector] is that fraction at FailedLinks[f] failures,
+// averaged over trials. Edge-disjoint selectors degrade gracefully — one
+// link failure kills at most one of the k paths — while vanilla KSP's
+// clustered paths can lose most of the set to a single failure.
+type FaultResilienceResult struct {
+	Params      jellyfish.Params
+	K           int
+	FailedLinks []int
+	Trials      int
+	Selectors   []string
+	Survive     [][]float64
+	// MeanSurvivingPaths[f][selector] is the mean number of intact paths
+	// per pair.
+	MeanSurvivingPaths [][]float64
+}
+
+// FaultResilience runs the study on one topology instance. Pairs are
+// sampled with Scale.PairSample (0 = all ordered pairs); trials =
+// Scale.PatternSamples random failure sets per failure count.
+func FaultResilience(params jellyfish.Params, failedLinks []int, sc Scale) (*FaultResilienceResult, error) {
+	sc = sc.withDefaults()
+	topo, err := sc.buildTopo(params, 0)
+	if err != nil {
+		return nil, err
+	}
+	var prs []paths.Pair
+	if sc.PairSample > 0 {
+		prs = paths.SamplePairs(params.N, sc.PairSample, xrand.New(sc.Seed^0xfa17))
+	} else {
+		prs = paths.AllOrderedPairs(params.N)
+	}
+	res := &FaultResilienceResult{
+		Params:      params,
+		K:           sc.K,
+		FailedLinks: failedLinks,
+		Trials:      sc.PatternSamples,
+		Selectors:   SelectorNames(false),
+	}
+	// Precompute all path sets once per selector.
+	dbs := make([]*paths.DB, len(ksp.Algorithms))
+	for ai, alg := range ksp.Algorithms {
+		dbs[ai] = paths.Build(topo.G, ksp.Config{Alg: alg, K: sc.K}, sc.pathSeed(0, alg), prs, sc.Workers)
+	}
+	nEdges := topo.G.NumEdges()
+	res.Survive = make([][]float64, len(failedLinks))
+	res.MeanSurvivingPaths = make([][]float64, len(failedLinks))
+	for fi, f := range failedLinks {
+		res.Survive[fi] = make([]float64, len(ksp.Algorithms))
+		res.MeanSurvivingPaths[fi] = make([]float64, len(ksp.Algorithms))
+		if f > nEdges {
+			return nil, fmt.Errorf("exp: cannot fail %d of %d links", f, nEdges)
+		}
+		for trial := 0; trial < sc.Trials(); trial++ {
+			failed := failureSet(topo, f, xrand.NewPair(sc.Seed^uint64(fi)<<32, uint64(trial)))
+			for ai := range ksp.Algorithms {
+				alive, meanPaths := survival(dbs[ai], prs, failed, sc.Workers)
+				res.Survive[fi][ai] += alive
+				res.MeanSurvivingPaths[fi][ai] += meanPaths
+			}
+		}
+		for ai := range ksp.Algorithms {
+			res.Survive[fi][ai] /= float64(sc.Trials())
+			res.MeanSurvivingPaths[fi][ai] /= float64(sc.Trials())
+		}
+	}
+	return res, nil
+}
+
+// Trials aliases PatternSamples for readability in fault studies.
+func (sc Scale) Trials() int { return sc.PatternSamples }
+
+// failureSet picks f distinct undirected edges to fail.
+func failureSet(topo *jellyfish.Topology, f int, rng *xrand.RNG) map[uint64]struct{} {
+	g := topo.G
+	// Enumerate undirected edges once.
+	edges := make([][2]graph.NodeID, 0, g.NumEdges())
+	for u := graph.NodeID(0); int(u) < g.NumNodes(); u++ {
+		for _, v := range g.Neighbors(u) {
+			if u < v {
+				edges = append(edges, [2]graph.NodeID{u, v})
+			}
+		}
+	}
+	failed := make(map[uint64]struct{}, f)
+	for _, idx := range rng.SampleK(len(edges), f) {
+		e := edges[idx]
+		failed[graph.UndirectedEdgeKey(e[0], e[1])] = struct{}{}
+	}
+	return failed
+}
+
+// survival returns (fraction of pairs with >= 1 intact path, mean intact
+// paths per pair) under the failure set.
+func survival(db *paths.DB, prs []paths.Pair, failed map[uint64]struct{}, workers int) (float64, float64) {
+	aliveCnt := make([]int32, len(prs))
+	pathCnt := make([]int32, len(prs))
+	par.For(len(prs), workers, func(i int) {
+		ps := db.Paths(prs[i].Src, prs[i].Dst)
+		intact := int32(0)
+		for _, p := range ps {
+			ok := true
+			for h := 0; h+1 < len(p); h++ {
+				if _, dead := failed[graph.UndirectedEdgeKey(p[h], p[h+1])]; dead {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				intact++
+			}
+		}
+		pathCnt[i] = intact
+		if intact > 0 {
+			aliveCnt[i] = 1
+		}
+	})
+	var alive, total int64
+	for i := range prs {
+		alive += int64(aliveCnt[i])
+		total += int64(pathCnt[i])
+	}
+	return float64(alive) / float64(len(prs)), float64(total) / float64(len(prs))
+}
+
+// Table renders the survival fractions.
+func (r *FaultResilienceResult) Table(title string) *stats.Table {
+	headers := append([]string{"Failed links"}, r.Selectors...)
+	t := stats.NewTable(title, headers...)
+	for fi, f := range r.FailedLinks {
+		row := []string{fmt.Sprintf("%d", f)}
+		for ai := range r.Selectors {
+			row = append(row, fmt.Sprintf("%.3f", r.Survive[fi][ai]))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// PathsTable renders the mean surviving path counts.
+func (r *FaultResilienceResult) PathsTable(title string) *stats.Table {
+	headers := append([]string{"Failed links"}, r.Selectors...)
+	t := stats.NewTable(title, headers...)
+	for fi, f := range r.FailedLinks {
+		row := []string{fmt.Sprintf("%d", f)}
+		for ai := range r.Selectors {
+			row = append(row, fmt.Sprintf("%.2f", r.MeanSurvivingPaths[fi][ai]))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

@@ -1,0 +1,132 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/jellyfish"
+	"repro/internal/ksp"
+	"repro/internal/model"
+	"repro/internal/paths"
+	"repro/internal/stats"
+	"repro/internal/traffic"
+)
+
+// ModelPatterns are the four traffic patterns of Figures 4-6, in the
+// paper's order. "random(X)" uses ModelConfig.RandomX destinations.
+var ModelPatterns = []string{"permutation", "shift", "random(X)", "all-to-all"}
+
+// ModelConfig parameterizes the throughput-model figures.
+type ModelConfig struct {
+	Params jellyfish.Params
+	// Patterns to evaluate (default ModelPatterns).
+	Patterns []string
+	// RandomX is the X of Random(X) (paper: 50).
+	RandomX int
+	// IncludeSP adds the single-path baseline column.
+	IncludeSP bool
+}
+
+// ModelFigureResult holds the mean per-node normalized throughput for one
+// topology: Mean[pattern][selector], selectors ordered as Selectors.
+type ModelFigureResult struct {
+	Config    ModelConfig
+	Patterns  []string
+	Selectors []string
+	Mean      [][]float64
+}
+
+// ModelThroughput reproduces one of Figures 4-6: the average model
+// throughput over TopoSamples topology instances and PatternSamples
+// traffic instances for every path selection scheme.
+func ModelThroughput(cfg ModelConfig, sc Scale) (*ModelFigureResult, error) {
+	sc = sc.withDefaults()
+	if cfg.RandomX == 0 {
+		cfg.RandomX = 50
+	}
+	if len(cfg.Patterns) == 0 {
+		cfg.Patterns = ModelPatterns
+	}
+	res := &ModelFigureResult{
+		Config:    cfg,
+		Patterns:  cfg.Patterns,
+		Selectors: SelectorNames(cfg.IncludeSP),
+	}
+	sums := make([][]float64, len(cfg.Patterns))
+	counts := make([][]int, len(cfg.Patterns))
+	for i := range sums {
+		sums[i] = make([]float64, len(res.Selectors))
+		counts[i] = make([]int, len(res.Selectors))
+	}
+
+	for ti := 0; ti < sc.TopoSamples; ti++ {
+		topo, err := sc.buildTopo(cfg.Params, ti)
+		if err != nil {
+			return nil, err
+		}
+		nTerms := topo.NumTerminals()
+		// One lazy DB per selector per topology sample: patterns share it.
+		dbs := make([]*paths.DB, len(ksp.Algorithms))
+		for ai, alg := range ksp.Algorithms {
+			dbs[ai] = paths.NewDB(topo.G, ksp.Config{Alg: alg, K: sc.K}, sc.pathSeed(ti, alg))
+		}
+		for pi, patName := range cfg.Patterns {
+			nInst := sc.PatternSamples
+			if patName == "all-to-all" {
+				nInst = 1 // deterministic pattern
+			}
+			for inst := 0; inst < nInst; inst++ {
+				rng := sc.patternSeed(ti, inst)
+				var pat traffic.Pattern
+				switch patName {
+				case "permutation":
+					pat = traffic.RandomPermutation(nTerms, rng)
+				case "shift":
+					pat = traffic.RandomShift(nTerms, rng)
+				case "random(X)":
+					pat = traffic.RandomX(nTerms, cfg.RandomX, rng)
+				case "all-to-all":
+					pat = traffic.AllToAll(nTerms)
+				default:
+					return nil, fmt.Errorf("exp: unknown model pattern %q", patName)
+				}
+				col := 0
+				if cfg.IncludeSP {
+					r := model.SinglePath(topo, dbs[0], pat, sc.Workers)
+					sums[pi][0] += r.MeanNode
+					counts[pi][0]++
+					col = 1
+				}
+				for ai := range ksp.Algorithms {
+					r := model.Throughput(topo, dbs[ai], pat, sc.Workers)
+					sums[pi][col+ai] += r.MeanNode
+					counts[pi][col+ai]++
+				}
+			}
+		}
+	}
+	res.Mean = make([][]float64, len(cfg.Patterns))
+	for pi := range sums {
+		res.Mean[pi] = make([]float64, len(res.Selectors))
+		for si := range sums[pi] {
+			if counts[pi][si] > 0 {
+				res.Mean[pi][si] = sums[pi][si] / float64(counts[pi][si])
+			}
+		}
+	}
+	return res, nil
+}
+
+// Table renders the figure's data as a table (patterns as rows, selectors
+// as columns), the textual equivalent of the paper's grouped bar charts.
+func (r *ModelFigureResult) Table(title string) *stats.Table {
+	headers := append([]string{"Pattern"}, r.Selectors...)
+	t := stats.NewTable(title, headers...)
+	for pi, pat := range r.Patterns {
+		row := []string{pat}
+		for si := range r.Selectors {
+			row = append(row, fmt.Sprintf("%.3f", r.Mean[pi][si]))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

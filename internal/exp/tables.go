@@ -1,0 +1,169 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/jellyfish"
+	"repro/internal/ksp"
+	"repro/internal/paths"
+	"repro/internal/stats"
+)
+
+// TopoMetricsRow is one row of Table I.
+type TopoMetricsRow struct {
+	Params       jellyfish.Params
+	SwitchSize   int
+	NumSwitches  int
+	NumTerminals int
+	AvgShortest  float64
+	Diameter     int32
+}
+
+// TableI computes the topology metrics of the paper's Table I, averaged
+// over Scale.TopoSamples instances.
+func TableI(paramsList []jellyfish.Params, sc Scale) ([]TopoMetricsRow, error) {
+	sc = sc.withDefaults()
+	rows := make([]TopoMetricsRow, 0, len(paramsList))
+	for _, p := range paramsList {
+		var avg float64
+		var diam int32
+		for i := 0; i < sc.TopoSamples; i++ {
+			topo, err := sc.buildTopo(p, i)
+			if err != nil {
+				return nil, err
+			}
+			m := topo.Metrics(sc.Workers)
+			if !m.Connected {
+				return nil, fmt.Errorf("exp: %v sample %d disconnected", p, i)
+			}
+			avg += m.AvgShortestPath
+			if m.Diameter > diam {
+				diam = m.Diameter
+			}
+		}
+		rows = append(rows, TopoMetricsRow{
+			Params:       p,
+			SwitchSize:   p.X,
+			NumSwitches:  p.N,
+			NumTerminals: p.N * (p.X - p.Y),
+			AvgShortest:  avg / float64(sc.TopoSamples),
+			Diameter:     diam,
+		})
+	}
+	return rows, nil
+}
+
+// RenderTableI renders Table I.
+func RenderTableI(rows []TopoMetricsRow) *stats.Table {
+	t := stats.NewTable("Table I: Jellyfish topologies",
+		"Topology", "Switch size", "No. of switches", "No. of compute nodes", "Avg shortest path len.")
+	for _, r := range rows {
+		t.AddRowf(r.Params.String(), r.SwitchSize, r.NumSwitches, r.NumTerminals,
+			fmt.Sprintf("%.2f", r.AvgShortest))
+	}
+	return t
+}
+
+// PathPropsResult holds the per-(topology, selector) path quality metrics
+// behind Tables II, III and IV.
+type PathPropsResult struct {
+	Params []jellyfish.Params
+	Algs   []ksp.Algorithm
+	K      int
+	// Q[p][a] is the quality aggregated over topology samples: AvgLen and
+	// DisjointFraction are means, MaxShare is the maximum.
+	Q [][]paths.Quality
+}
+
+// PathProps analyzes path quality for every topology and selector. With
+// Scale.PairSample > 0 a uniform pair sample is analyzed instead of all
+// ordered pairs.
+func PathProps(paramsList []jellyfish.Params, algs []ksp.Algorithm, sc Scale) (*PathPropsResult, error) {
+	sc = sc.withDefaults()
+	res := &PathPropsResult{Params: paramsList, Algs: algs, K: sc.K}
+	for _, p := range paramsList {
+		row := make([]paths.Quality, len(algs))
+		for i := 0; i < sc.TopoSamples; i++ {
+			topo, err := sc.buildTopo(p, i)
+			if err != nil {
+				return nil, err
+			}
+			var pairs []paths.Pair
+			if sc.PairSample > 0 {
+				pairs = paths.SamplePairs(p.N, sc.PairSample, sc.topoSeed(i).Split())
+			} else {
+				pairs = paths.AllOrderedPairs(p.N)
+			}
+			for a, alg := range algs {
+				q := paths.Analyze(topo.G, ksp.Config{Alg: alg, K: sc.K},
+					sc.pathSeed(i, alg), pairs, sc.Workers)
+				row[a].Pairs += q.Pairs
+				row[a].AvgLen += q.AvgLen
+				row[a].DisjointFraction += q.DisjointFraction
+				row[a].AvgPaths += q.AvgPaths
+				row[a].Fallbacks += q.Fallbacks
+				if q.MaxShare > row[a].MaxShare {
+					row[a].MaxShare = q.MaxShare
+				}
+			}
+		}
+		for a := range row {
+			row[a].AvgLen /= float64(sc.TopoSamples)
+			row[a].DisjointFraction /= float64(sc.TopoSamples)
+			row[a].AvgPaths /= float64(sc.TopoSamples)
+		}
+		res.Q = append(res.Q, row)
+	}
+	return res, nil
+}
+
+func (r *PathPropsResult) header() []string {
+	h := []string{"Topology"}
+	for _, a := range r.Algs {
+		h = append(h, fmt.Sprintf("%s(%d)", a, r.K))
+	}
+	return h
+}
+
+// TableII renders the average path length table.
+func (r *PathPropsResult) TableII() *stats.Table {
+	t := stats.NewTable(fmt.Sprintf("Table II: Average path length (k = %d)", r.K), r.header()...)
+	for p, params := range r.Params {
+		row := []string{params.String()}
+		for a := range r.Algs {
+			row = append(row, fmt.Sprintf("%.2f", r.Q[p][a].AvgLen))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// TableIII renders the percent-disjoint-pairs table.
+func (r *PathPropsResult) TableIII() *stats.Table {
+	t := stats.NewTable(fmt.Sprintf(
+		"Table III: Percentage of switch pairs whose k paths do not share any link (k = %d)", r.K),
+		r.header()...)
+	for p, params := range r.Params {
+		row := []string{params.String()}
+		for a := range r.Algs {
+			row = append(row, fmt.Sprintf("%.0f%%", 100*r.Q[p][a].DisjointFraction))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// TableIV renders the maximum link-sharing table.
+func (r *PathPropsResult) TableIV() *stats.Table {
+	t := stats.NewTable(fmt.Sprintf(
+		"Table IV: Maximum number of times one link is shared by the k paths of one switch pair (k = %d)", r.K),
+		r.header()...)
+	for p, params := range r.Params {
+		row := []string{params.String()}
+		for a := range r.Algs {
+			row = append(row, fmt.Sprintf("%d", r.Q[p][a].MaxShare))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

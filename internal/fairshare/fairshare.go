@@ -1,0 +1,201 @@
+// Package fairshare computes the exact max-min fair rate allocation for a
+// set of sub-flows over capacitated links, by progressive filling
+// (water-filling): repeatedly saturate the most contended link, freeze the
+// rates of the sub-flows crossing it, and continue with the residual
+// network.
+//
+// It exists as a cross-check of the paper's Equation-1 throughput model
+// (internal/model), which *approximates* MPTCP behaviour by giving every
+// sub-flow the reciprocal of its bottleneck link's static load. Max-min
+// fairness is what an idealized congestion-controlled transport actually
+// converges to; comparing the two quantifies the model's approximation
+// error and — more importantly for the paper — confirms that the ordering
+// of the path-selection schemes is not an artifact of the approximation.
+package fairshare
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/jellyfish"
+	"repro/internal/traffic"
+)
+
+// PathProvider supplies the k candidate paths per ordered switch pair.
+type PathProvider interface {
+	Paths(s, d graph.NodeID) []graph.Path
+}
+
+// Allocation is the result of a max-min fair computation.
+type Allocation struct {
+	// SubflowRates[i][j] is the rate of flow i's j-th sub-flow, in units
+	// of link capacity.
+	SubflowRates [][]float64
+	// FlowRates[i] is the total rate of flow i (sum over its sub-flows).
+	FlowRates []float64
+	// PerNode[t] is the sum of FlowRates over flows sourced at terminal t.
+	PerNode []float64
+	// MeanFlow and MeanNode aggregate like the model package.
+	MeanFlow, MeanNode float64
+	// Iterations is the number of filling rounds (== number of distinct
+	// bottleneck levels).
+	Iterations int
+}
+
+// subflow is one (flow, path) pair in the filling process.
+type subflow struct {
+	flow   int
+	links  []int32
+	frozen bool
+	rate   float64
+}
+
+// Compute runs progressive filling for the pattern over the provider's
+// path sets. Link capacities are 1 per directed switch link and per
+// terminal injection/ejection channel, matching the model package's
+// normalization, so results are directly comparable with
+// model.Throughput.
+func Compute(topo *jellyfish.Topology, db PathProvider, pat traffic.Pattern) (Allocation, error) {
+	if pat.NumTerminals != topo.NumTerminals() {
+		return Allocation{}, fmt.Errorf("fairshare: pattern has %d terminals, topology %d",
+			pat.NumTerminals, topo.NumTerminals())
+	}
+	g := topo.G
+	nLinks := g.NumDirectedLinks()
+	nTerms := topo.NumTerminals()
+	totalLinks := nLinks + 2*nTerms
+	inj := func(t int) int32 { return int32(nLinks + t) }
+	ej := func(t int) int32 { return int32(nLinks + nTerms + t) }
+
+	// Build sub-flows.
+	var subs []subflow
+	flowSubs := make([][]int, len(pat.Flows))
+	for fi, f := range pat.Flows {
+		s, d := topo.SwitchOf(f.Src), topo.SwitchOf(f.Dst)
+		var pathSets []graph.Path
+		if s != d {
+			pathSets = db.Paths(s, d)
+		}
+		if len(pathSets) == 0 {
+			// Same-switch flow: single sub-flow over inject+eject.
+			links := []int32{inj(f.Src), ej(f.Dst)}
+			flowSubs[fi] = append(flowSubs[fi], len(subs))
+			subs = append(subs, subflow{flow: fi, links: links})
+			continue
+		}
+		for _, p := range pathSets {
+			links := make([]int32, 0, p.Hops()+2)
+			links = append(links, inj(f.Src))
+			links = p.Links(g, links)
+			links = append(links, ej(f.Dst))
+			flowSubs[fi] = append(flowSubs[fi], len(subs))
+			subs = append(subs, subflow{flow: fi, links: links})
+		}
+	}
+
+	// Progressive filling.
+	capacity := make([]float64, totalLinks)
+	active := make([]int, totalLinks) // unfrozen sub-flows per link
+	for i := range capacity {
+		capacity[i] = 1
+	}
+	for si := range subs {
+		for _, l := range subs[si].links {
+			active[l]++
+		}
+	}
+	remaining := len(subs)
+	iterations := 0
+	for remaining > 0 {
+		iterations++
+		if iterations > len(subs)+totalLinks+1 {
+			return Allocation{}, fmt.Errorf("fairshare: filling did not converge")
+		}
+		// The binding link is the one minimizing residual/active.
+		minShare := math.Inf(1)
+		for l := 0; l < totalLinks; l++ {
+			if active[l] == 0 {
+				continue
+			}
+			share := capacity[l] / float64(active[l])
+			if share < minShare {
+				minShare = share
+			}
+		}
+		if math.IsInf(minShare, 1) {
+			break // no active links left (cannot happen with inj/ej links)
+		}
+		// Raise every unfrozen sub-flow by minShare, reduce capacities,
+		// freeze the sub-flows crossing now-saturated links.
+		for si := range subs {
+			if !subs[si].frozen {
+				subs[si].rate += minShare
+			}
+		}
+		for l := 0; l < totalLinks; l++ {
+			if active[l] > 0 {
+				capacity[l] -= minShare * float64(active[l])
+			}
+		}
+		const eps = 1e-12
+		for l := 0; l < totalLinks; l++ {
+			if active[l] > 0 && capacity[l] <= eps {
+				// Freeze all unfrozen sub-flows through l.
+				for si := range subs {
+					if subs[si].frozen {
+						continue
+					}
+					for _, sl := range subs[si].links {
+						if int(sl) == l {
+							subs[si].frozen = true
+							remaining--
+							for _, l2 := range subs[si].links {
+								active[l2]--
+							}
+							break
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Aggregate.
+	alloc := Allocation{
+		SubflowRates: make([][]float64, len(pat.Flows)),
+		FlowRates:    make([]float64, len(pat.Flows)),
+		PerNode:      make([]float64, nTerms),
+		Iterations:   iterations,
+	}
+	for fi := range pat.Flows {
+		rates := make([]float64, len(flowSubs[fi]))
+		for j, si := range flowSubs[fi] {
+			rates[j] = subs[si].rate
+			alloc.FlowRates[fi] += subs[si].rate
+		}
+		alloc.SubflowRates[fi] = rates
+	}
+	var flowSum float64
+	sends := make([]bool, nTerms)
+	for fi, f := range pat.Flows {
+		alloc.PerNode[f.Src] += alloc.FlowRates[fi]
+		sends[f.Src] = true
+		flowSum += alloc.FlowRates[fi]
+	}
+	if len(pat.Flows) > 0 {
+		alloc.MeanFlow = flowSum / float64(len(pat.Flows))
+	}
+	var nodeSum float64
+	senders := 0
+	for t, s := range sends {
+		if s {
+			nodeSum += alloc.PerNode[t]
+			senders++
+		}
+	}
+	if senders > 0 {
+		alloc.MeanNode = nodeSum / float64(senders)
+	}
+	return alloc, nil
+}

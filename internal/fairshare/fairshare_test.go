@@ -1,0 +1,202 @@
+package fairshare
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/jellyfish"
+	"repro/internal/ksp"
+	"repro/internal/model"
+	"repro/internal/paths"
+	"repro/internal/traffic"
+	"repro/internal/xrand"
+)
+
+func twoSwitch(terminalsPer int) *jellyfish.Topology {
+	b := graph.NewBuilder(2)
+	b.AddEdge(0, 1)
+	return &jellyfish.Topology{G: b.Graph(), N: 2, X: terminalsPer + 1, Y: 1}
+}
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSingleFlowGetsFullRate(t *testing.T) {
+	topo := twoSwitch(1)
+	db := paths.BuildAllPairs(topo.G, ksp.Config{Alg: ksp.KSP, K: 1}, 1, 1)
+	pat := traffic.Pattern{NumTerminals: 2, Flows: []traffic.Flow{{Src: 0, Dst: 1}}}
+	a, err := Compute(topo, db, pat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(a.FlowRates[0], 1) {
+		t.Fatalf("rate = %v, want 1", a.FlowRates[0])
+	}
+}
+
+func TestTwoFlowsShareFairly(t *testing.T) {
+	topo := twoSwitch(2)
+	db := paths.BuildAllPairs(topo.G, ksp.Config{Alg: ksp.KSP, K: 1}, 1, 1)
+	pat := traffic.Pattern{NumTerminals: 4, Flows: []traffic.Flow{
+		{Src: 0, Dst: 2}, {Src: 1, Dst: 3},
+	}}
+	a, err := Compute(topo, db, pat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(a.FlowRates[0], 0.5) || !approx(a.FlowRates[1], 0.5) {
+		t.Fatalf("rates = %v, want 0.5 each", a.FlowRates)
+	}
+}
+
+func TestMaxMinBeatsBottleneckOnAsymmetry(t *testing.T) {
+	// Three flows: two share the 0->1 link, the third rides 1->0 alone.
+	// Max-min gives 0.5, 0.5, 1.0 — a strictly better allocation than any
+	// uniform rate.
+	topo := twoSwitch(2)
+	db := paths.BuildAllPairs(topo.G, ksp.Config{Alg: ksp.KSP, K: 1}, 1, 1)
+	pat := traffic.Pattern{NumTerminals: 4, Flows: []traffic.Flow{
+		{Src: 0, Dst: 2}, {Src: 1, Dst: 3}, {Src: 2, Dst: 0},
+	}}
+	a, err := Compute(topo, db, pat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.5, 0.5, 1.0}
+	for i := range want {
+		if !approx(a.FlowRates[i], want[i]) {
+			t.Fatalf("rates = %v, want %v", a.FlowRates, want)
+		}
+	}
+	if a.Iterations < 2 {
+		t.Fatalf("iterations = %d, expected at least 2 bottleneck levels", a.Iterations)
+	}
+}
+
+func TestSameSwitchFlow(t *testing.T) {
+	topo := twoSwitch(2)
+	db := paths.BuildAllPairs(topo.G, ksp.Config{Alg: ksp.KSP, K: 1}, 1, 1)
+	pat := traffic.Pattern{NumTerminals: 4, Flows: []traffic.Flow{{Src: 0, Dst: 1}}}
+	a, err := Compute(topo, db, pat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(a.FlowRates[0], 1) {
+		t.Fatalf("same-switch rate = %v", a.FlowRates[0])
+	}
+}
+
+func jelly(t *testing.T) *jellyfish.Topology {
+	t.Helper()
+	topo, err := jellyfish.New(jellyfish.Params{N: 16, X: 9, Y: 6}, xrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func TestFeasibility(t *testing.T) {
+	// The allocation must respect every link capacity: recompute per-link
+	// usage from the sub-flow rates and check <= 1.
+	topo := jelly(t)
+	db := paths.BuildAllPairs(topo.G, ksp.Config{Alg: ksp.REDKSP, K: 4}, 7, 0)
+	pat := traffic.RandomShift(topo.NumTerminals(), xrand.New(9))
+	a, err := Compute(topo, db, pat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := topo.G
+	usage := make([]float64, g.NumDirectedLinks())
+	injUse := make([]float64, topo.NumTerminals())
+	ejUse := make([]float64, topo.NumTerminals())
+	for fi, f := range pat.Flows {
+		s, d := topo.SwitchOf(f.Src), topo.SwitchOf(f.Dst)
+		ps := db.Paths(s, d)
+		for j, rate := range a.SubflowRates[fi] {
+			injUse[f.Src] += rate
+			ejUse[f.Dst] += rate
+			if s != d {
+				p := ps[j]
+				for h := 0; h+1 < len(p); h++ {
+					usage[g.LinkID(p[h], p[h+1])] += rate
+				}
+			}
+		}
+	}
+	for l, u := range usage {
+		if u > 1+1e-6 {
+			t.Fatalf("link %d overloaded: %v", l, u)
+		}
+	}
+	for tm := range injUse {
+		if injUse[tm] > 1+1e-6 || ejUse[tm] > 1+1e-6 {
+			t.Fatalf("terminal %d channels overloaded: %v / %v", tm, injUse[tm], ejUse[tm])
+		}
+	}
+	// Per-node throughput bounded by 1.
+	for tm, v := range a.PerNode {
+		if v > 1+1e-6 {
+			t.Fatalf("node %d rate %v > 1", tm, v)
+		}
+	}
+}
+
+func TestAgreesWithModelOrdering(t *testing.T) {
+	// The Eq.1 model approximates max-min fairness; the two must agree on
+	// the ordering KSP <= rEDKSP (averaged over patterns) and be within a
+	// reasonable band of each other per selector.
+	topo := jelly(t)
+	rng := xrand.New(21)
+	for _, alg := range []ksp.Algorithm{ksp.KSP, ksp.REDKSP} {
+		db := paths.BuildAllPairs(topo.G, ksp.Config{Alg: alg, K: 4}, 3, 0)
+		var mmSum, modelSum float64
+		for i := 0; i < 4; i++ {
+			pat := traffic.RandomShift(topo.NumTerminals(), rng)
+			a, err := Compute(topo, db, pat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mmSum += a.MeanNode
+			modelSum += model.Throughput(topo, db, pat, 0).MeanNode
+		}
+		ratio := mmSum / modelSum
+		if ratio < 0.7 || ratio > 1.5 {
+			t.Fatalf("%v: max-min %v vs model %v (ratio %v) — approximation broke",
+				alg, mmSum/4, modelSum/4, ratio)
+		}
+	}
+}
+
+func TestMaxMinREDKSPBeatsKSP(t *testing.T) {
+	// Ground truth check of the paper's ordering under exact fairness.
+	topo := jelly(t)
+	rng := xrand.New(33)
+	dbK := paths.BuildAllPairs(topo.G, ksp.Config{Alg: ksp.KSP, K: 4}, 3, 0)
+	dbR := paths.BuildAllPairs(topo.G, ksp.Config{Alg: ksp.REDKSP, K: 4}, 3, 0)
+	var sumK, sumR float64
+	for i := 0; i < 6; i++ {
+		pat := traffic.RandomShift(topo.NumTerminals(), rng)
+		aK, err := Compute(topo, dbK, pat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aR, err := Compute(topo, dbR, pat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sumK += aK.MeanNode
+		sumR += aR.MeanNode
+	}
+	if sumR <= sumK {
+		t.Fatalf("max-min fairness reverses the paper's ordering: rEDKSP %v <= KSP %v",
+			sumR/6, sumK/6)
+	}
+}
+
+func TestPatternMismatch(t *testing.T) {
+	topo := twoSwitch(1)
+	db := paths.BuildAllPairs(topo.G, ksp.Config{Alg: ksp.KSP, K: 1}, 1, 1)
+	if _, err := Compute(topo, db, traffic.Pattern{NumTerminals: 99}); err == nil {
+		t.Fatal("terminal mismatch accepted")
+	}
+}

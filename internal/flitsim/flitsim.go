@@ -1,0 +1,482 @@
+// Package flitsim is a cycle-level interconnection network simulator in the
+// mold of Booksim 2.0, which the paper extends with Jellyfish support for
+// its Figures 7-13. It simulates single-flit packets over source-routed
+// multi-path routing with:
+//
+//   - output-queued switches with per-virtual-channel FIFOs and
+//     credit-based backpressure (a packet leaves a queue only when the
+//     downstream queue has a free slot, reserved at departure);
+//   - deadlock freedom by VC-per-hop: a packet at hop h occupies VC h, and
+//     the VC count covers the longest admissible path, so the channel
+//     dependency graph is acyclic;
+//   - configurable channel latency (the paper uses 10 cycles) and VC buffer
+//     depth (32);
+//   - Bernoulli packet injection per terminal at a configurable offered
+//     load, with destinations drawn from a traffic.Sampler;
+//   - the paper's measurement protocol: warmup, then a window divided into
+//     samples; the network counts as saturated when a sample's average
+//     packet latency exceeds a threshold (500 cycles).
+//
+// The paper configures Booksim with a 2.0 router speedup "because our main
+// focus is on evaluating routing performance, rather than flow control and
+// router delays"; accordingly this simulator does not model crossbar or
+// allocator contention at all — every output arbitrates independently —
+// which is the same idealization taken to its limit. Link bandwidth (one
+// flit per cycle per direction) and finite buffering, the resources that
+// actually differentiate routing schemes, are modeled exactly.
+package flitsim
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/jellyfish"
+	"repro/internal/traffic"
+	"repro/internal/xrand"
+)
+
+// PathProvider supplies the k candidate paths per ordered switch pair
+// (typically *paths.DB).
+type PathProvider interface {
+	Paths(s, d graph.NodeID) []graph.Path
+}
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// Topo is the network.
+	Topo *jellyfish.Topology
+	// Paths supplies the per-pair candidate paths.
+	Paths PathProvider
+	// Mechanism selects how a path is chosen per packet.
+	Mechanism Mechanism
+	// Traffic draws per-packet destinations.
+	Traffic traffic.Sampler
+	// InjectionRate is the offered load: the per-cycle probability that a
+	// terminal injects a packet, in [0, 1].
+	InjectionRate float64
+	// Seed drives all randomness in the run.
+	Seed uint64
+
+	// ChannelLatency is the switch-to-switch channel delay in cycles
+	// (default 10, as in the paper).
+	ChannelLatency int
+	// TerminalLatency is the injection/ejection channel delay (default 1).
+	TerminalLatency int
+	// BufDepth is the per-VC buffer depth in flits (default 32).
+	BufDepth int
+	// NumVCs is the virtual channel count; 0 derives it from the longest
+	// path the configured mechanism can use (3·diameter+2 for UGAL,
+	// 2·diameter+2 otherwise — the paper sizes VCs "equal to the diameter
+	// of the network" for its near-minimal KSP paths; edge-disjoint and
+	// non-minimal paths need more headroom).
+	NumVCs int
+
+	// WarmupCycles (default 500; pass a negative value for no warmup),
+	// SampleCycles (default 500) and NumSamples (default 10) define the
+	// measurement protocol.
+	WarmupCycles int
+	SampleCycles int
+	NumSamples   int
+	// SatLatency is the per-sample average latency above which the network
+	// counts as saturated (default 500 cycles).
+	SatLatency float64
+	// SaturationLatencyOnly restricts saturation detection to the paper's
+	// latency threshold. By default a run also counts as saturated when
+	// accepted throughput falls below 90% of offered load, which catches
+	// regimes where a starving minority of flows never pushes the average
+	// latency of delivered packets over the threshold.
+	SaturationLatencyOnly bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.ChannelLatency == 0 {
+		c.ChannelLatency = 10
+	}
+	if c.TerminalLatency == 0 {
+		c.TerminalLatency = 1
+	}
+	if c.BufDepth == 0 {
+		c.BufDepth = 32
+	}
+	if c.WarmupCycles == 0 {
+		c.WarmupCycles = 500
+	}
+	if c.WarmupCycles < 0 {
+		c.WarmupCycles = 0
+	}
+	if c.SampleCycles == 0 {
+		c.SampleCycles = 500
+	}
+	if c.NumSamples == 0 {
+		c.NumSamples = 10
+	}
+	if c.SatLatency == 0 {
+		c.SatLatency = 500
+	}
+	return c
+}
+
+// Result reports one run.
+type Result struct {
+	// AvgLatency is the mean packet latency (injection to ejection, in
+	// cycles) over all packets delivered during the measurement window.
+	AvgLatency float64
+	// SampleLatencies holds the per-sample average latencies.
+	SampleLatencies []float64
+	// Saturated reports whether any sample exceeded SatLatency (or a
+	// sample delivered nothing while traffic was offered).
+	Saturated bool
+	// DeliveredRate is packets delivered per terminal per cycle during
+	// measurement — the accepted throughput.
+	DeliveredRate float64
+	// P50, P95 and P99 are latency percentiles over packets delivered
+	// during measurement (0 when nothing was delivered). Latencies above
+	// the histogram cap (4x SatLatency) land in the top bucket, so deep
+	// saturation reads as "at least the cap".
+	P50, P95, P99 float64
+	// Injected and Delivered count packets over the whole run (including
+	// warmup); Dropped is always 0 (lossless network) and retained for
+	// conservation checks.
+	Injected, Delivered int64
+	// InFlight is the number of packets still in the network when the run
+	// ended (conservation: Injected == Delivered + InFlight).
+	InFlight int64
+	// MaxHops observed over delivered packets.
+	MaxHops int
+	// AvgHops is the mean switch-level hop count over packets delivered
+	// during measurement.
+	AvgHops float64
+}
+
+// packet is a single-flit packet.
+type packet struct {
+	path    graph.Path // switch-level path; len 1 for same-switch traffic
+	hop     int32      // next path edge index to traverse
+	dstTerm int32
+	birth   int64 // cycle the packet entered the source queue
+	next    int32 // freelist / queue linkage
+}
+
+// Sim is one simulation instance. It is single-threaded; run many Sims in
+// parallel for sweeps.
+type Sim struct {
+	cfg   Config
+	topo  *jellyfish.Topology
+	g     *graph.Graph
+	rng   *xrand.RNG
+	mech  mechanismState
+	numVC int
+
+	// Link indexing: [0, L) network links (graph link ids), then
+	// [L, L+T) injection links, then [L+T, L+2T) ejection links.
+	numNet   int
+	numTerm  int
+	queues   [][]fifo // [link][vc]
+	occ      []int32  // committed occupancy per link (queued + reserved)
+	occVC    []int32  // committed occupancy per (link, vc)
+	rrVC     []int32  // round-robin VC pointer per link
+	inflight wheel    // packets on channels, by arrival cycle
+
+	pkts  []packet
+	free  int32 // packet freelist head (-1 none)
+	clock int64
+
+	injected, delivered, deliveredMeas int64
+	latSumMeas, hopSumMeas             int64
+	latHist                            []int64 // per-cycle latency histogram (measured packets)
+	maxHops                            int
+
+	srcQueue []fifo // per-terminal infinite source queues (single VC)
+}
+
+// fifo is a slice-backed packet-index queue.
+type fifo struct {
+	buf  []int32
+	head int
+}
+
+func (f *fifo) len() int { return len(f.buf) - f.head }
+func (f *fifo) push(p int32) {
+	if f.head > 64 && f.head*2 >= len(f.buf) {
+		f.buf = append(f.buf[:0], f.buf[f.head:]...)
+		f.head = 0
+	}
+	f.buf = append(f.buf, p)
+}
+func (f *fifo) peek() int32 { return f.buf[f.head] }
+func (f *fifo) pop() int32 {
+	p := f.buf[f.head]
+	f.head++
+	return p
+}
+
+// wheel schedules in-flight packets by absolute arrival cycle.
+type wheel struct {
+	slots [][]arrival
+	base  int64
+}
+
+type arrival struct {
+	pkt  int32
+	link int32
+	vc   int32
+}
+
+func newWheel(horizon int) wheel {
+	return wheel{slots: make([][]arrival, horizon+1)}
+}
+
+func (w *wheel) schedule(at int64, a arrival) {
+	idx := int(at-w.base) % len(w.slots)
+	w.slots[idx] = append(w.slots[idx], a)
+}
+
+func (w *wheel) take(now int64) []arrival {
+	idx := int(now-w.base) % len(w.slots)
+	out := w.slots[idx]
+	w.slots[idx] = nil
+	return out
+}
+
+// New creates a simulator. It panics on invalid configuration.
+func New(cfg Config) *Sim {
+	cfg = cfg.withDefaults()
+	if cfg.Topo == nil || cfg.Paths == nil || cfg.Traffic == nil || cfg.Mechanism == nil {
+		panic("flitsim: Topo, Paths, Traffic and Mechanism are required")
+	}
+	if cfg.InjectionRate < 0 || cfg.InjectionRate > 1 {
+		panic(fmt.Sprintf("flitsim: injection rate %v out of [0,1]", cfg.InjectionRate))
+	}
+	s := &Sim{
+		cfg:     cfg,
+		topo:    cfg.Topo,
+		g:       cfg.Topo.G,
+		rng:     xrand.New(cfg.Seed),
+		numNet:  cfg.Topo.G.NumDirectedLinks(),
+		numTerm: cfg.Topo.NumTerminals(),
+	}
+	s.numVC = cfg.NumVCs
+	if s.numVC == 0 {
+		// Edge-disjoint paths routinely exceed the diameter, and UGAL
+		// non-minimal paths reach twice the longest shortest path, so the
+		// default is generous; the paper's diameter-sized VC count assumes
+		// near-minimal KSP paths only.
+		m := graph.ComputeMetrics(s.g, 0)
+		s.numVC = 2*int(m.Diameter) + 2
+		if cfg.Mechanism.usesNonMinimal() {
+			s.numVC = 3*int(m.Diameter) + 2
+		}
+	}
+	nLinks := s.numNet + 2*s.numTerm
+	s.queues = make([][]fifo, nLinks)
+	for i := range s.queues {
+		s.queues[i] = make([]fifo, s.numVC)
+	}
+	s.occ = make([]int32, nLinks)
+	s.occVC = make([]int32, nLinks*s.numVC)
+	s.rrVC = make([]int32, nLinks)
+	maxLat := cfg.ChannelLatency
+	if cfg.TerminalLatency > maxLat {
+		maxLat = cfg.TerminalLatency
+	}
+	s.inflight = newWheel(maxLat + 1)
+	s.free = -1
+	s.latHist = make([]int64, int(cfg.SatLatency)*4+1)
+	s.srcQueue = make([]fifo, s.numTerm)
+	s.mech = cfg.Mechanism.newState(s)
+	return s
+}
+
+func (s *Sim) injLink(term int32) int32 { return int32(s.numNet) + term }
+func (s *Sim) ejLink(term int32) int32  { return int32(s.numNet+s.numTerm) + term }
+
+// QueueLen returns the committed occupancy (queued plus reserved in-flight)
+// of the directed network link u→v: the congestion signal adaptive
+// mechanisms compare. It panics if {u,v} is not an edge.
+func (s *Sim) QueueLen(u, v graph.NodeID) int {
+	id := s.g.LinkID(u, v)
+	if id < 0 {
+		panic(fmt.Sprintf("flitsim: no link %d->%d", u, v))
+	}
+	return int(s.occ[id])
+}
+
+// pathCost is the UGAL-style latency estimate: the occupancy of the path's
+// first network link times the path's hop count. Zero-hop (same switch)
+// paths cost 0.
+func (s *Sim) pathCost(p graph.Path) int {
+	h := p.Hops()
+	if h <= 0 {
+		return 0
+	}
+	return int(s.occ[s.g.LinkID(p[0], p[1])]) * h
+}
+
+func (s *Sim) allocPkt() int32 {
+	if s.free >= 0 {
+		id := s.free
+		s.free = s.pkts[id].next
+		return id
+	}
+	s.pkts = append(s.pkts, packet{})
+	return int32(len(s.pkts) - 1)
+}
+
+func (s *Sim) freePkt(id int32) {
+	s.pkts[id] = packet{next: s.free}
+	s.free = id
+}
+
+// step advances the simulation by one cycle. measuring toggles stats
+// collection for delivered packets.
+func (s *Sim) step(measuring bool, sampleLatSum *int64, sampleCount *int64) {
+	// 1. Deliver in-flight packets into their reserved queue slots.
+	for _, a := range s.inflight.take(s.clock) {
+		s.queues[a.link][a.vc].push(a.pkt)
+	}
+
+	// 2. Ejection links: drain one packet per cycle to the terminal sink.
+	for term := int32(0); int(term) < s.numTerm; term++ {
+		link := s.ejLink(term)
+		if vc := s.pickVC(link); vc >= 0 {
+			id := s.queues[link][vc].pop()
+			s.occ[link]--
+			s.occVC[int(link)*s.numVC+int(vc)]--
+			// Latency includes the ejection channel traversal.
+			lat := s.clock - s.pkts[id].birth + int64(s.cfg.TerminalLatency)
+			h := s.pkts[id].path.Hops()
+			if h > s.maxHops {
+				s.maxHops = h
+			}
+			s.delivered++
+			if measuring {
+				s.deliveredMeas++
+				s.latSumMeas += lat
+				s.hopSumMeas += int64(h)
+				bucket := lat
+				if bucket >= int64(len(s.latHist)) {
+					bucket = int64(len(s.latHist)) - 1
+				}
+				s.latHist[bucket]++
+				*sampleLatSum += lat
+				*sampleCount++
+			}
+			s.freePkt(id)
+		}
+	}
+
+	// 3. Network links: each sends its arbitration winner if the packet's
+	// next queue has space.
+	for link := int32(0); int(link) < s.numNet; link++ {
+		vc := s.pickVC(link)
+		if vc < 0 {
+			continue
+		}
+		id := s.queues[link][vc].peek()
+		p := &s.pkts[id]
+		nextLink, nextVC := s.nextHopOf(p)
+		if s.spaceIn(nextLink, nextVC) {
+			s.queues[link][vc].pop()
+			s.occ[link]--
+			s.occVC[int(link)*s.numVC+int(vc)]--
+			s.occ[nextLink]++
+			s.occVC[int(nextLink)*s.numVC+int(nextVC)]++
+			p.hop++
+			// The packet now traverses this network channel.
+			s.inflight.schedule(s.clock+int64(s.cfg.ChannelLatency),
+				arrival{pkt: id, link: nextLink, vc: nextVC})
+		}
+	}
+
+	// 4. Injection links: move the head of each terminal's source queue
+	// into the network. The path is chosen here — at network entry — so
+	// adaptive mechanisms see current queue state.
+	for term := int32(0); int(term) < s.numTerm; term++ {
+		q := &s.srcQueue[term]
+		if q.len() == 0 {
+			continue
+		}
+		id := q.peek()
+		p := &s.pkts[id]
+		if p.path == nil {
+			src := s.topo.SwitchOf(int(term))
+			dst := s.topo.SwitchOf(int(p.dstTerm))
+			p.path = s.mech.choose(s, src, dst, term, p.dstTerm)
+			if p.path == nil {
+				panic(fmt.Sprintf("flitsim: no path %d->%d", src, dst))
+			}
+			if p.path.Hops() > s.numVC {
+				panic(fmt.Sprintf("flitsim: path with %d hops exceeds %d VCs", p.path.Hops(), s.numVC))
+			}
+		}
+		nextLink, nextVC := s.firstLinkOf(p)
+		if !s.spaceIn(nextLink, nextVC) {
+			continue
+		}
+		q.pop()
+		s.occ[nextLink]++
+		s.occVC[int(nextLink)*s.numVC+int(nextVC)]++
+		s.inflight.schedule(s.clock+int64(s.cfg.TerminalLatency),
+			arrival{pkt: id, link: nextLink, vc: nextVC})
+	}
+
+	// 5. Generate new packets.
+	if s.cfg.InjectionRate > 0 {
+		for term := 0; term < s.numTerm; term++ {
+			if s.rng.Float64() >= s.cfg.InjectionRate {
+				continue
+			}
+			dst, ok := s.cfg.Traffic.Dest(term, s.rng)
+			if !ok {
+				continue
+			}
+			id := s.allocPkt()
+			s.pkts[id] = packet{hop: 0, dstTerm: int32(dst), birth: s.clock, next: -1}
+			s.srcQueue[term].push(id)
+			s.injected++
+		}
+	}
+
+	s.clock++
+}
+
+// pickVC round-robins over the link's VCs and returns one with a queued
+// packet, or -1.
+func (s *Sim) pickVC(link int32) int32 {
+	start := s.rrVC[link]
+	for i := 0; i < s.numVC; i++ {
+		vc := (start + int32(i)) % int32(s.numVC)
+		if s.queues[link][vc].len() > 0 {
+			s.rrVC[link] = (vc + 1) % int32(s.numVC)
+			return vc
+		}
+	}
+	return -1
+}
+
+// firstLinkOf returns the first network link (or the ejection link for
+// zero-hop paths) a freshly injected packet enters, with its VC.
+func (s *Sim) firstLinkOf(p *packet) (int32, int32) {
+	if p.path.Hops() == 0 {
+		return s.ejLink(p.dstTerm), 0
+	}
+	return s.g.LinkID(p.path[0], p.path[1]), 0
+}
+
+// nextHopOf returns the queue the packet enters after traversing its
+// current link. p.hop indexes the edge the packet is currently queued for.
+// Network hop h occupies VC h; the ejection queue (a pure sink) always
+// uses VC 0, so VC demand equals the maximum path hop count.
+func (s *Sim) nextHopOf(p *packet) (int32, int32) {
+	nextEdge := int(p.hop) + 1
+	if nextEdge >= p.path.Hops() {
+		return s.ejLink(p.dstTerm), 0
+	}
+	return s.g.LinkID(p.path[nextEdge], p.path[nextEdge+1]), p.hop + 1
+}
+
+// spaceIn reports whether (link, vc) can accept one more committed packet:
+// its queued plus reserved in-flight count is below the buffer depth.
+func (s *Sim) spaceIn(link, vc int32) bool {
+	return int(s.occVC[int(link)*s.numVC+int(vc)]) < s.cfg.BufDepth
+}

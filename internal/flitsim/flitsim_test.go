@@ -1,0 +1,528 @@
+package flitsim
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/jellyfish"
+	"repro/internal/ksp"
+	"repro/internal/paths"
+	"repro/internal/traffic"
+	"repro/internal/xrand"
+)
+
+// oneShot injects exactly one packet from src to dst at cycle 0.
+type oneShot struct {
+	src, dst int
+	fired    bool
+}
+
+func (o *oneShot) Name() string { return "one-shot" }
+func (o *oneShot) Dest(src int, _ *xrand.RNG) (int, bool) {
+	if src != o.src || o.fired {
+		return 0, false
+	}
+	o.fired = true
+	return o.dst, true
+}
+
+func lineTopo(nSwitches, termsPer int) *jellyfish.Topology {
+	b := graph.NewBuilder(nSwitches)
+	for i := 0; i+1 < nSwitches; i++ {
+		b.AddEdge(graph.NodeID(i), graph.NodeID(i+1))
+	}
+	return &jellyfish.Topology{G: b.Graph(), N: nSwitches, X: termsPer + 2, Y: 2}
+}
+
+func jelly(t testing.TB, n, x, y int, seed uint64) *jellyfish.Topology {
+	t.Helper()
+	topo, err := jellyfish.New(jellyfish.Params{N: n, X: x, Y: y}, xrand.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func db(topo *jellyfish.Topology, alg ksp.Algorithm, k int) *paths.DB {
+	return paths.NewDB(topo.G, ksp.Config{Alg: alg, K: k}, 1)
+}
+
+func TestSinglePacketLatency(t *testing.T) {
+	// One packet over a 3-hop path: injection wait 1 + injection channel 1
+	// + 3 x 10 network channels + ejection channel 1 = 33 cycles.
+	topo := lineTopo(4, 1)
+	cfg := Config{
+		Topo:      topo,
+		Paths:     db(topo, ksp.KSP, 1),
+		Mechanism: SP(),
+		Traffic:   &oneShot{src: 0, dst: 3},
+		// InjectionRate gates generation; the sampler fires once.
+		InjectionRate: 1,
+		NumVCs:        8,
+		WarmupCycles:  -1,
+	}
+	s := New(cfg)
+	res := s.Run()
+	if res.Delivered != 1 {
+		t.Fatalf("delivered = %d", res.Delivered)
+	}
+	if res.AvgLatency != 33 {
+		t.Fatalf("latency = %v, want 33", res.AvgLatency)
+	}
+	if res.MaxHops != 3 {
+		t.Fatalf("hops = %d", res.MaxHops)
+	}
+}
+
+func TestSameSwitchPacket(t *testing.T) {
+	topo := lineTopo(2, 2) // terminals 0,1 on switch 0
+	cfg := Config{
+		Topo:          topo,
+		Paths:         db(topo, ksp.KSP, 1),
+		Mechanism:     SP(),
+		Traffic:       &oneShot{src: 0, dst: 1},
+		InjectionRate: 1,
+		NumVCs:        4,
+		WarmupCycles:  -1,
+	}
+	res := New(cfg).Run()
+	if res.Delivered != 1 {
+		t.Fatalf("delivered = %d", res.Delivered)
+	}
+	// Injection wait 1 + injection channel 1 + ejection channel 1 = 3.
+	if res.AvgLatency != 3 {
+		t.Fatalf("latency = %v, want 3", res.AvgLatency)
+	}
+}
+
+func TestConservation(t *testing.T) {
+	topo := jelly(t, 12, 8, 4, 3)
+	cfg := Config{
+		Topo:          topo,
+		Paths:         db(topo, ksp.REDKSP, 4),
+		Mechanism:     KSPAdaptive(),
+		Traffic:       traffic.Uniform{N: topo.NumTerminals()},
+		InjectionRate: 0.3,
+		Seed:          7,
+	}
+	s := New(cfg)
+	s.Step(2000)
+	inj, del, inFlight := s.Counts()
+	if inj == 0 || del == 0 {
+		t.Fatalf("injected=%d delivered=%d", inj, del)
+	}
+	if got := s.QueuedPackets(); got != inFlight {
+		t.Fatalf("conservation violated: counted %d in network, expected %d", got, inFlight)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	topo := jelly(t, 12, 8, 4, 3)
+	mk := func() Result {
+		return New(Config{
+			Topo:          topo,
+			Paths:         paths.NewDB(topo.G, ksp.Config{Alg: ksp.REDKSP, K: 4}, 11),
+			Mechanism:     KSPAdaptive(),
+			Traffic:       traffic.Uniform{N: topo.NumTerminals()},
+			InjectionRate: 0.4,
+			Seed:          21,
+		}).Run()
+	}
+	a, b := mk(), mk()
+	if a.AvgLatency != b.AvgLatency || a.Delivered != b.Delivered {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestLowLoadNotSaturatedHighLoadSaturated(t *testing.T) {
+	topo := jelly(t, 12, 8, 4, 3)
+	pdb := db(topo, ksp.KSP, 4)
+	run := func(rate float64) Result {
+		return New(Config{
+			Topo:          topo,
+			Paths:         pdb,
+			Mechanism:     SP(),
+			Traffic:       traffic.Uniform{N: topo.NumTerminals()},
+			InjectionRate: rate,
+			Seed:          5,
+		}).Run()
+	}
+	low := run(0.05)
+	if low.Saturated {
+		t.Fatalf("5%% load saturated: %+v", low.SampleLatencies)
+	}
+	if low.AvgLatency <= 0 {
+		t.Fatal("no latency recorded at low load")
+	}
+	// Single-path routing at full uniform load on a y=4 RRG must saturate:
+	// 4 terminals per switch inject 1 flit/cycle into 4 network links with
+	// multi-hop paths.
+	high := run(1.0)
+	if !high.Saturated {
+		t.Fatalf("full load not saturated: avg latency %v", high.AvgLatency)
+	}
+}
+
+func TestAllMechanismsDeliver(t *testing.T) {
+	topo := jelly(t, 12, 8, 4, 3)
+	pdb := db(topo, ksp.REDKSP, 4)
+	for _, mech := range append(Mechanisms(), SP()) {
+		res := New(Config{
+			Topo:          topo,
+			Paths:         pdb,
+			Mechanism:     mech,
+			Traffic:       traffic.Uniform{N: topo.NumTerminals()},
+			InjectionRate: 0.2,
+			Seed:          9,
+		}).Run()
+		if res.Delivered == 0 {
+			t.Fatalf("%s delivered nothing", mech.Name())
+		}
+		if res.Saturated {
+			t.Fatalf("%s saturated at 20%% load", mech.Name())
+		}
+		if res.Injected != res.Delivered+res.InFlight {
+			t.Fatalf("%s conservation: %d != %d + %d",
+				mech.Name(), res.Injected, res.Delivered, res.InFlight)
+		}
+	}
+}
+
+func TestUGALUsesNonMinimalPaths(t *testing.T) {
+	// Under heavy permutation load vanilla UGAL should sometimes divert to
+	// non-minimal paths, observable as MaxHops above the k-path maximum.
+	topo := jelly(t, 12, 8, 4, 3)
+	pdb := db(topo, ksp.KSP, 2)
+	res := New(Config{
+		Topo:          topo,
+		Paths:         pdb,
+		Mechanism:     VanillaUGAL(),
+		Traffic:       traffic.NewFixedSampler(traffic.RandomPermutation(topo.NumTerminals(), xrand.New(2))),
+		InjectionRate: 0.9,
+		Seed:          13,
+	}).Run()
+	if res.Delivered == 0 {
+		t.Fatal("nothing delivered")
+	}
+	if res.MaxHops < 3 {
+		t.Fatalf("UGAL never took a long path (max hops %d)", res.MaxHops)
+	}
+}
+
+func TestPermutationTraffic(t *testing.T) {
+	// Like the paper's topologies, keep the network ports at about twice
+	// the terminal count per switch (RRG(36,24,16) has 8 terminals and 16
+	// links); an oversubscribed switch would saturate regardless of
+	// routing.
+	topo := jelly(t, 12, 9, 6, 3)
+	pdb := db(topo, ksp.REDKSP, 4)
+	pat := traffic.RandomPermutation(topo.NumTerminals(), xrand.New(1))
+	res := New(Config{
+		Topo:          topo,
+		Paths:         pdb,
+		Mechanism:     KSPAdaptive(),
+		Traffic:       traffic.NewFixedSampler(pat),
+		InjectionRate: 0.5,
+		Seed:          3,
+	}).Run()
+	if res.Saturated {
+		t.Fatalf("rEDKSP adaptive saturated at 50%% permutation load (lat %v)", res.SampleLatencies)
+	}
+	if res.DeliveredRate <= 0.3 {
+		t.Fatalf("delivered rate = %v", res.DeliveredRate)
+	}
+}
+
+func TestSweepAndSaturation(t *testing.T) {
+	topo := jelly(t, 12, 8, 4, 3)
+	cfg := Config{
+		Topo:      topo,
+		Paths:     db(topo, ksp.REDKSP, 4),
+		Mechanism: KSPAdaptive(),
+		Traffic:   traffic.Uniform{N: topo.NumTerminals()},
+		Seed:      17,
+	}
+	rates := Rates(0.1, 1.0, 0.1)
+	if len(rates) != 10 {
+		t.Fatalf("rates = %v", rates)
+	}
+	sat, results := SaturationThroughput(cfg, rates, 4)
+	if len(results) != len(rates) {
+		t.Fatalf("results = %d", len(results))
+	}
+	if sat < 0.1 {
+		t.Fatalf("saturation throughput = %v, expected at least the lowest rate", sat)
+	}
+	// Latency should be nondecreasing-ish: final unsaturated latency above
+	// the first rate's latency.
+	if results[0].Saturated {
+		t.Fatal("10% load saturated")
+	}
+}
+
+func TestDeliveredRateTracksOfferedAtLowLoad(t *testing.T) {
+	topo := jelly(t, 12, 8, 4, 3)
+	res := New(Config{
+		Topo:          topo,
+		Paths:         db(topo, ksp.REDKSP, 4),
+		Mechanism:     Random(),
+		Traffic:       traffic.Uniform{N: topo.NumTerminals()},
+		InjectionRate: 0.1,
+		Seed:          23,
+	}).Run()
+	if res.DeliveredRate < 0.08 || res.DeliveredRate > 0.12 {
+		t.Fatalf("delivered rate %v far from offered 0.1", res.DeliveredRate)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	topo := lineTopo(2, 1)
+	ok := Config{
+		Topo:      topo,
+		Paths:     db(topo, ksp.KSP, 1),
+		Mechanism: SP(),
+		Traffic:   traffic.Uniform{N: 2},
+	}
+	bad := ok
+	bad.InjectionRate = 1.5
+	mustPanic(t, func() { New(bad) })
+	missing := ok
+	missing.Paths = nil
+	mustPanic(t, func() { New(missing) })
+}
+
+func TestMechanismByName(t *testing.T) {
+	for _, name := range []string{"sp", "random", "round-robin", "ugal", "ksp-ugal", "ksp-adaptive"} {
+		if _, err := MechanismByName(name); err != nil {
+			t.Errorf("MechanismByName(%q): %v", name, err)
+		}
+	}
+	if _, err := MechanismByName("magic"); err == nil {
+		t.Error("bogus mechanism accepted")
+	}
+}
+
+func TestRoundRobinCyclesPaths(t *testing.T) {
+	// A 4-cycle has two paths between opposite corners; round-robin must
+	// alternate them strictly.
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	b.AddEdge(3, 0)
+	topo := &jellyfish.Topology{G: b.Graph(), N: 4, X: 3, Y: 2}
+	pdb := paths.NewDB(topo.G, ksp.Config{Alg: ksp.EDKSP, K: 2}, 1)
+	s := New(Config{
+		Topo:      topo,
+		Paths:     pdb,
+		Mechanism: RoundRobin(),
+		Traffic:   traffic.Uniform{N: 4},
+		NumVCs:    6,
+	})
+	st := s.mech
+	p1 := st.choose(s, 0, 2, 0, 2)
+	p2 := st.choose(s, 0, 2, 0, 2)
+	p3 := st.choose(s, 0, 2, 0, 2)
+	if p1.Equal(p2) {
+		t.Fatalf("round robin repeated the path: %v", p1)
+	}
+	if !p1.Equal(p3) {
+		t.Fatalf("round robin did not cycle back: %v vs %v", p1, p3)
+	}
+}
+
+func TestKSPAdaptiveAvoidsCongestedPath(t *testing.T) {
+	// Manually congest one path's first link and check KSP-adaptive picks
+	// the other one (two candidates, deterministic comparison).
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	b.AddEdge(3, 0)
+	topo := &jellyfish.Topology{G: b.Graph(), N: 4, X: 3, Y: 2}
+	pdb := paths.NewDB(topo.G, ksp.Config{Alg: ksp.EDKSP, K: 2}, 1)
+	s := New(Config{
+		Topo:      topo,
+		Paths:     pdb,
+		Mechanism: KSPAdaptive(),
+		Traffic:   traffic.Uniform{N: 4},
+		NumVCs:    6,
+	})
+	// Congest link 0->1.
+	id := topo.G.LinkID(0, 1)
+	s.occ[id] = 30
+	for trial := 0; trial < 20; trial++ {
+		p := s.mech.choose(s, 0, 2, 0, 2)
+		if p[1] == 1 {
+			t.Fatalf("adaptive chose the congested path %v", p)
+		}
+	}
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}
+
+func TestRatesEndpointExact(t *testing.T) {
+	rs := Rates(0.05, 1.0, 0.05)
+	if len(rs) != 20 {
+		t.Fatalf("len = %d, want 20", len(rs))
+	}
+	if rs[len(rs)-1] > 1.0 {
+		t.Fatalf("last rate %v exceeds 1.0", rs[len(rs)-1])
+	}
+	for _, r := range rs {
+		if r < 0 || r > 1 {
+			t.Fatalf("rate %v out of range", r)
+		}
+	}
+	// Every generated rate must be a legal injection rate.
+	if rs2 := Rates(0.1, 0.3, 0.1); len(rs2) != 3 {
+		t.Fatalf("Rates(0.1,0.3,0.1) = %v", rs2)
+	}
+}
+
+func TestLatencyPercentiles(t *testing.T) {
+	topo := jelly(t, 12, 8, 4, 3)
+	res := New(Config{
+		Topo:          topo,
+		Paths:         db(topo, ksp.REDKSP, 4),
+		Mechanism:     Random(),
+		Traffic:       traffic.Uniform{N: topo.NumTerminals()},
+		InjectionRate: 0.2,
+		Seed:          31,
+	}).Run()
+	if res.P50 <= 0 || res.P95 < res.P50 || res.P99 < res.P95 {
+		t.Fatalf("percentiles not ordered: p50=%v p95=%v p99=%v", res.P50, res.P95, res.P99)
+	}
+	// The median must bracket the mean loosely at low load.
+	if res.P50 > res.AvgLatency*3 {
+		t.Fatalf("p50 %v wildly above mean %v", res.P50, res.AvgLatency)
+	}
+}
+
+func TestUGALBiasExtremes(t *testing.T) {
+	// With an enormous MIN bias, biased KSP-UGAL degenerates to SP: same
+	// delivered results under a fixed seed.
+	topo := jelly(t, 12, 8, 4, 3)
+	pdb := db(topo, ksp.KSP, 4)
+	run := func(mech Mechanism) Result {
+		return New(Config{
+			Topo:          topo,
+			Paths:         pdb,
+			Mechanism:     mech,
+			Traffic:       traffic.Uniform{N: topo.NumTerminals()},
+			InjectionRate: 0.15,
+			Seed:          77,
+		}).Run()
+	}
+	// Routing decisions match SP exactly, but the mechanism consumes extra
+	// RNG draws (sampling the unused alternative), desynchronizing traffic
+	// generation — so compare statistically, not bit-for-bit.
+	biased := run(KSPUGALBiased(1 << 30))
+	sp := run(SP())
+	if diff := biased.AvgLatency - sp.AvgLatency; diff > sp.AvgLatency*0.05 || diff < -sp.AvgLatency*0.05 {
+		t.Fatalf("infinitely biased KSP-UGAL (%v) far from SP (%v)",
+			biased.AvgLatency, sp.AvgLatency)
+	}
+	if biased.MaxHops != sp.MaxHops {
+		t.Fatalf("biased KSP-UGAL used different path lengths: %d vs %d",
+			biased.MaxHops, sp.MaxHops)
+	}
+	// Bias 0 must match the unbiased constructor.
+	a, b := run(KSPUGALBiased(0)), run(KSPUGAL())
+	if a.AvgLatency != b.AvgLatency {
+		t.Fatal("bias 0 differs from unbiased KSP-UGAL")
+	}
+	c, d := run(VanillaUGALBiased(0)), run(VanillaUGAL())
+	if c.AvgLatency != d.AvgLatency {
+		t.Fatal("bias 0 differs from unbiased UGAL")
+	}
+}
+
+func TestAvgHopsReported(t *testing.T) {
+	topo := jelly(t, 12, 8, 4, 3)
+	res := New(Config{
+		Topo:          topo,
+		Paths:         db(topo, ksp.KSP, 2),
+		Mechanism:     SP(),
+		Traffic:       traffic.Uniform{N: topo.NumTerminals()},
+		InjectionRate: 0.1,
+		Seed:          41,
+	}).Run()
+	if res.AvgHops <= 0 || res.AvgHops > float64(res.MaxHops) {
+		t.Fatalf("avg hops = %v (max %d)", res.AvgHops, res.MaxHops)
+	}
+	// With SP routing the average hop count approximates the average
+	// shortest path length of the switch graph.
+	m := graph.ComputeMetrics(topo.G, 0)
+	if res.AvgHops < m.AvgShortestPath*0.7 || res.AvgHops > m.AvgShortestPath*1.3 {
+		t.Fatalf("avg hops %v far from avg shortest path %v", res.AvgHops, m.AvgShortestPath)
+	}
+}
+
+func TestNoLivelockUnderSustainedOverload(t *testing.T) {
+	// Deadlock-freedom stress: at injection rate 1.0 for a long horizon,
+	// delivery must keep making progress (VC-per-hop ordering guarantees
+	// the network never wedges).
+	topo := jelly(t, 12, 8, 4, 3)
+	s := New(Config{
+		Topo:          topo,
+		Paths:         db(topo, ksp.REDKSP, 4),
+		Mechanism:     KSPAdaptive(),
+		Traffic:       traffic.Uniform{N: topo.NumTerminals()},
+		InjectionRate: 1.0,
+		Seed:          43,
+	})
+	var lastDelivered int64
+	for epoch := 0; epoch < 10; epoch++ {
+		s.Step(1000)
+		_, delivered, _ := s.Counts()
+		if delivered <= lastDelivered {
+			t.Fatalf("no progress in epoch %d: delivered stuck at %d", epoch, delivered)
+		}
+		lastDelivered = delivered
+	}
+	if got := s.QueuedPackets(); got != func() int64 { _, _, f := s.Counts(); return f }() {
+		t.Fatal("conservation violated under overload")
+	}
+}
+
+func TestSaturationLatencyOnlyMode(t *testing.T) {
+	// Pick a regime where the throughput criterion fires but the latency
+	// criterion does not: SP routing on shift traffic at a load past its
+	// capacity but with stable delivered-packet latency.
+	topo := jelly(t, 12, 9, 6, 3)
+	pdb := db(topo, ksp.KSP, 4)
+	base := Config{
+		Topo:          topo,
+		Paths:         pdb,
+		Mechanism:     SP(),
+		Traffic:       traffic.NewFixedSampler(traffic.RandomShift(topo.NumTerminals(), xrand.New(8))),
+		InjectionRate: 1.0,
+		Seed:          6,
+	}
+	both := New(base).Run()
+	latOnly := base
+	latOnly.SaturationLatencyOnly = true
+	paper := New(latOnly).Run()
+	if !both.Saturated {
+		t.Skip("regime did not trigger the throughput criterion; nothing to compare")
+	}
+	// The latency-only run may or may not be saturated, but it must never
+	// be saturated in a case the default criterion is not.
+	if paper.Saturated && !both.Saturated {
+		t.Fatal("latency-only mode is stricter than the default, which is impossible")
+	}
+	// Both modes must agree on the actual delivery numbers (the criterion
+	// only affects the verdict).
+	if both.DeliveredRate != paper.DeliveredRate {
+		t.Fatalf("criterion changed delivery: %v vs %v", both.DeliveredRate, paper.DeliveredRate)
+	}
+}

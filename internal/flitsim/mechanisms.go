@@ -1,0 +1,253 @@
+package flitsim
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Mechanism selects, per packet, which of the candidate paths carries it.
+// The paper's Section III-B mechanisms are all provided: SP, random,
+// round-robin, vanilla-UGAL, KSP-UGAL and KSP-adaptive.
+type Mechanism interface {
+	// Name is the paper's name for the mechanism.
+	Name() string
+	// usesNonMinimal reports whether the mechanism can route over composed
+	// (up to 2x diameter) paths, which widens the default VC allocation.
+	usesNonMinimal() bool
+	// newState builds per-simulation mutable state.
+	newState(s *Sim) mechanismState
+}
+
+// mechanismState is the per-Sim instantiation of a Mechanism.
+type mechanismState interface {
+	choose(s *Sim, src, dst graph.NodeID, srcTerm, dstTerm int32) graph.Path
+}
+
+// MechanismByName resolves a command-line mechanism name.
+func MechanismByName(name string) (Mechanism, error) {
+	switch name {
+	case "sp", "SP":
+		return SP(), nil
+	case "random", "Random":
+		return Random(), nil
+	case "round-robin", "roundrobin", "Round-Robin":
+		return RoundRobin(), nil
+	case "ugal", "vanilla-ugal", "UGAL":
+		return VanillaUGAL(), nil
+	case "ksp-ugal", "KSP-UGAL":
+		return KSPUGAL(), nil
+	case "ksp-adaptive", "KSP-adaptive":
+		return KSPAdaptive(), nil
+	}
+	return nil, fmt.Errorf("flitsim: unknown mechanism %q", name)
+}
+
+// Mechanisms lists the paper's routing mechanisms in presentation order
+// (Figures 7-10 group bars as Random, Round-Robin, UGAL, KSP-UGAL,
+// KSP-adaptive).
+func Mechanisms() []Mechanism {
+	return []Mechanism{Random(), RoundRobin(), VanillaUGAL(), KSPUGAL(), KSPAdaptive()}
+}
+
+// pathsFor fetches the candidate set, panicking on unreachable pairs (the
+// topologies here are connected by construction).
+func pathsFor(s *Sim, src, dst graph.NodeID) []graph.Path {
+	ps := s.cfg.Paths.Paths(src, dst)
+	if len(ps) == 0 {
+		panic(fmt.Sprintf("flitsim: no paths %d->%d", src, dst))
+	}
+	return ps
+}
+
+func sameSwitch(src graph.NodeID) graph.Path { return graph.Path{src} }
+
+// --- SP ---------------------------------------------------------------------
+
+type spMech struct{}
+
+// SP is single-path routing: every packet takes the pair's shortest path
+// (the first path of the candidate set).
+func SP() Mechanism { return spMech{} }
+
+func (spMech) Name() string                 { return "SP" }
+func (spMech) usesNonMinimal() bool         { return false }
+func (spMech) newState(*Sim) mechanismState { return spState{} }
+
+type spState struct{}
+
+func (spState) choose(s *Sim, src, dst graph.NodeID, _, _ int32) graph.Path {
+	if src == dst {
+		return sameSwitch(src)
+	}
+	return pathsFor(s, src, dst)[0]
+}
+
+// --- Random -----------------------------------------------------------------
+
+type randomMech struct{}
+
+// Random picks one of the k candidate paths uniformly at random per packet.
+func Random() Mechanism { return randomMech{} }
+
+func (randomMech) Name() string                 { return "Random" }
+func (randomMech) usesNonMinimal() bool         { return false }
+func (randomMech) newState(*Sim) mechanismState { return randomState{} }
+
+type randomState struct{}
+
+func (randomState) choose(s *Sim, src, dst graph.NodeID, _, _ int32) graph.Path {
+	if src == dst {
+		return sameSwitch(src)
+	}
+	ps := pathsFor(s, src, dst)
+	return ps[s.rng.IntN(len(ps))]
+}
+
+// --- Round-robin --------------------------------------------------------------
+
+type rrMech struct{}
+
+// RoundRobin cycles through the k candidate paths of each switch pair in
+// order, one path per packet.
+func RoundRobin() Mechanism { return rrMech{} }
+
+func (rrMech) Name() string         { return "Round-Robin" }
+func (rrMech) usesNonMinimal() bool { return false }
+func (rrMech) newState(*Sim) mechanismState {
+	return &rrState{counters: make(map[uint64]int32)}
+}
+
+type rrState struct {
+	counters map[uint64]int32
+}
+
+func (r *rrState) choose(s *Sim, src, dst graph.NodeID, _, _ int32) graph.Path {
+	if src == dst {
+		return sameSwitch(src)
+	}
+	ps := pathsFor(s, src, dst)
+	key := uint64(uint32(src))<<32 | uint64(uint32(dst))
+	i := r.counters[key]
+	r.counters[key] = (i + 1) % int32(len(ps))
+	return ps[i]
+}
+
+// --- vanilla UGAL -------------------------------------------------------------
+
+type ugalMech struct{ bias int }
+
+// VanillaUGAL is the classic Universal Globally Adaptive Load-balanced
+// routing applied directly to Jellyfish: per packet it compares the
+// minimal path against one Valiant-style non-minimal path through a random
+// intermediate switch, estimating each path's latency as (occupancy of its
+// first network link) x (hop count), with no bias toward either (the
+// paper's setting). The minimal path is the pair's shortest candidate; the
+// non-minimal path is the concatenation of the shortest paths to and from
+// the intermediate.
+func VanillaUGAL() Mechanism { return ugalMech{} }
+
+// VanillaUGALBiased is VanillaUGAL with an additive bias (in queue-cycle
+// units) in favor of the minimal path: the non-minimal candidate is taken
+// only when its estimate beats the minimal estimate by more than bias.
+// The paper evaluates bias 0 ("no bias towards MIN or VLB"); this knob
+// exists for the ablation study.
+func VanillaUGALBiased(bias int) Mechanism { return ugalMech{bias: bias} }
+
+func (ugalMech) Name() string                   { return "UGAL" }
+func (ugalMech) usesNonMinimal() bool           { return true }
+func (m ugalMech) newState(*Sim) mechanismState { return ugalState{bias: m.bias} }
+
+type ugalState struct{ bias int }
+
+func (st ugalState) choose(s *Sim, src, dst graph.NodeID, _, _ int32) graph.Path {
+	if src == dst {
+		return sameSwitch(src)
+	}
+	minPath := pathsFor(s, src, dst)[0]
+	// Random intermediate different from both endpoints.
+	n := s.g.NumNodes()
+	var mid graph.NodeID
+	for {
+		mid = graph.NodeID(s.rng.IntN(n))
+		if mid != src && mid != dst {
+			break
+		}
+	}
+	a := pathsFor(s, src, mid)[0]
+	b := pathsFor(s, mid, dst)[0]
+	nonMin := make(graph.Path, 0, len(a)+len(b)-1)
+	nonMin = append(nonMin, a...)
+	nonMin = append(nonMin, b[1:]...)
+	if s.pathCost(nonMin)+st.bias < s.pathCost(minPath) {
+		return nonMin
+	}
+	return minPath
+}
+
+// --- KSP-UGAL -----------------------------------------------------------------
+
+type kspUgalMech struct{ bias int }
+
+// KSPUGAL restricts UGAL's non-minimal choice to the k candidate paths:
+// the pair's shortest path is the minimal candidate and one random other
+// path of the set is the non-minimal candidate; the packet takes the one
+// with the smaller estimated latency.
+func KSPUGAL() Mechanism { return kspUgalMech{} }
+
+// KSPUGALBiased is KSPUGAL with an additive bias toward the minimal path,
+// for the ablation study (the paper uses bias 0).
+func KSPUGALBiased(bias int) Mechanism { return kspUgalMech{bias: bias} }
+
+func (kspUgalMech) Name() string                   { return "KSP-UGAL" }
+func (kspUgalMech) usesNonMinimal() bool           { return false }
+func (m kspUgalMech) newState(*Sim) mechanismState { return kspUgalState{bias: m.bias} }
+
+type kspUgalState struct{ bias int }
+
+func (st kspUgalState) choose(s *Sim, src, dst graph.NodeID, _, _ int32) graph.Path {
+	if src == dst {
+		return sameSwitch(src)
+	}
+	ps := pathsFor(s, src, dst)
+	minPath := ps[0]
+	if len(ps) == 1 {
+		return minPath
+	}
+	alt := ps[1+s.rng.IntN(len(ps)-1)]
+	if s.pathCost(alt)+st.bias < s.pathCost(minPath) {
+		return alt
+	}
+	return minPath
+}
+
+// --- KSP-adaptive ---------------------------------------------------------------
+
+type kspAdaptiveMech struct{}
+
+// KSPAdaptive is the paper's proposed mechanism: sample two random
+// candidates from the k paths (without designating either as minimal) and
+// send the packet on the one with the smaller estimated latency.
+func KSPAdaptive() Mechanism { return kspAdaptiveMech{} }
+
+func (kspAdaptiveMech) Name() string                 { return "KSP-adaptive" }
+func (kspAdaptiveMech) usesNonMinimal() bool         { return false }
+func (kspAdaptiveMech) newState(*Sim) mechanismState { return kspAdaptiveState{} }
+
+type kspAdaptiveState struct{}
+
+func (kspAdaptiveState) choose(s *Sim, src, dst graph.NodeID, _, _ int32) graph.Path {
+	if src == dst {
+		return sameSwitch(src)
+	}
+	ps := pathsFor(s, src, dst)
+	if len(ps) == 1 {
+		return ps[0]
+	}
+	i, j := s.rng.TwoDistinct(len(ps))
+	a, b := ps[i], ps[j]
+	if s.pathCost(b) < s.pathCost(a) {
+		return b
+	}
+	return a
+}

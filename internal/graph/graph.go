@@ -1,0 +1,245 @@
+// Package graph implements the graph substrate used by every other package
+// in this repository: a compact undirected graph with sorted adjacency
+// lists, breadth-first shortest-path machinery with pluggable tie-breaking
+// (deterministic-by-id and randomized — the heart of the paper's rKSP
+// heuristic), weighted Dijkstra, and whole-graph metrics such as average
+// shortest path length and diameter.
+//
+// Graphs are immutable once built via Builder.Graph, which makes them safe
+// to share across the worker pools used for all-pairs path computation and
+// simulation. Algorithms that conceptually "remove" nodes or edges (Yen's
+// algorithm, the Remove-Find edge-disjoint method) express removals as ban
+// predicates on a search engine rather than by mutating the graph.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node (switch) in a graph. IDs are dense in [0, N).
+type NodeID = int32
+
+// Graph is an immutable undirected graph with nodes 0..N-1. Adjacency lists
+// are sorted ascending, which fixes the deterministic exploration order that
+// the paper's "vanilla KSP" bias analysis depends on.
+//
+// Every directed link (u,v) — one direction of an undirected edge — has a
+// dense link index in [0, NumDirectedLinks()), used by the throughput model
+// and the simulators for O(1) per-link state arrays.
+type Graph struct {
+	n     int
+	adj   [][]NodeID
+	start []int32 // start[u] is the link index of u's first outgoing link
+	m     int     // number of undirected edges
+}
+
+// Builder accumulates edges and produces an immutable Graph.
+// The zero value is not usable; call NewBuilder.
+type Builder struct {
+	n   int
+	adj []map[NodeID]struct{}
+}
+
+// NewBuilder returns a Builder for a graph with n nodes and no edges.
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	adj := make([]map[NodeID]struct{}, n)
+	for i := range adj {
+		adj[i] = make(map[NodeID]struct{})
+	}
+	return &Builder{n: n, adj: adj}
+}
+
+// AddEdge inserts the undirected edge {u, v}. Inserting an existing edge is
+// a no-op and returns false. Self loops are rejected with a panic: neither
+// Jellyfish construction nor any algorithm here tolerates them.
+func (b *Builder) AddEdge(u, v NodeID) bool {
+	if u == v {
+		panic(fmt.Sprintf("graph: self loop on node %d", u))
+	}
+	b.check(u)
+	b.check(v)
+	if _, ok := b.adj[u][v]; ok {
+		return false
+	}
+	b.adj[u][v] = struct{}{}
+	b.adj[v][u] = struct{}{}
+	return true
+}
+
+// RemoveEdge deletes the undirected edge {u, v} if present and reports
+// whether it existed.
+func (b *Builder) RemoveEdge(u, v NodeID) bool {
+	b.check(u)
+	b.check(v)
+	if _, ok := b.adj[u][v]; !ok {
+		return false
+	}
+	delete(b.adj[u], v)
+	delete(b.adj[v], u)
+	return true
+}
+
+// HasEdge reports whether the undirected edge {u, v} is present.
+func (b *Builder) HasEdge(u, v NodeID) bool {
+	b.check(u)
+	b.check(v)
+	_, ok := b.adj[u][v]
+	return ok
+}
+
+// Degree returns the current degree of u.
+func (b *Builder) Degree(u NodeID) int {
+	b.check(u)
+	return len(b.adj[u])
+}
+
+// NumNodes returns the node count.
+func (b *Builder) NumNodes() int { return b.n }
+
+func (b *Builder) check(u NodeID) {
+	if u < 0 || int(u) >= b.n {
+		panic(fmt.Sprintf("graph: node %d out of range [0,%d)", u, b.n))
+	}
+}
+
+// Graph freezes the builder's current edge set into an immutable Graph.
+// The builder remains usable afterwards.
+func (b *Builder) Graph() *Graph {
+	g := &Graph{
+		n:     b.n,
+		adj:   make([][]NodeID, b.n),
+		start: make([]int32, b.n+1),
+	}
+	total := 0
+	for u := range b.adj {
+		lst := make([]NodeID, 0, len(b.adj[u]))
+		for v := range b.adj[u] {
+			lst = append(lst, v)
+		}
+		sort.Slice(lst, func(i, j int) bool { return lst[i] < lst[j] })
+		g.adj[u] = lst
+		g.start[u] = int32(total)
+		total += len(lst)
+	}
+	g.start[b.n] = int32(total)
+	g.m = total / 2
+	return g
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return g.n }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int { return g.m }
+
+// NumDirectedLinks returns the number of directed links (2 × NumEdges).
+func (g *Graph) NumDirectedLinks() int { return 2 * g.m }
+
+// Neighbors returns u's neighbor list, sorted ascending. The returned slice
+// is owned by the graph and must not be modified.
+func (g *Graph) Neighbors(u NodeID) []NodeID { return g.adj[u] }
+
+// Degree returns the degree of u.
+func (g *Graph) Degree(u NodeID) int { return len(g.adj[u]) }
+
+// HasEdge reports whether {u, v} is an edge, by binary search.
+func (g *Graph) HasEdge(u, v NodeID) bool {
+	return g.neighborIndex(u, v) >= 0
+}
+
+// LinkID returns the dense index of the directed link u→v, or -1 if {u, v}
+// is not an edge.
+func (g *Graph) LinkID(u, v NodeID) int32 {
+	i := g.neighborIndex(u, v)
+	if i < 0 {
+		return -1
+	}
+	return g.start[u] + int32(i)
+}
+
+// LinkEndpoints is the inverse of LinkID: it returns (u, v) for a directed
+// link index. It panics on an out-of-range index.
+func (g *Graph) LinkEndpoints(link int32) (u, v NodeID) {
+	if link < 0 || int(link) >= g.NumDirectedLinks() {
+		panic(fmt.Sprintf("graph: link %d out of range", link))
+	}
+	// Binary search the start array for the owning node.
+	u = NodeID(sort.Search(g.n, func(i int) bool { return g.start[i+1] > link }))
+	v = g.adj[u][link-g.start[u]]
+	return u, v
+}
+
+func (g *Graph) neighborIndex(u, v NodeID) int {
+	lst := g.adj[u]
+	lo, hi := 0, len(lst)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if lst[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(lst) && lst[lo] == v {
+		return lo
+	}
+	return -1
+}
+
+// Clone returns a Builder pre-populated with g's edges, for algorithms that
+// genuinely need destructive edits (e.g. the Remove-Find disjoint-path
+// method operating on a private copy).
+func (g *Graph) Clone() *Builder {
+	b := NewBuilder(g.n)
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.adj[u] {
+			if NodeID(u) < v {
+				b.AddEdge(NodeID(u), v)
+			}
+		}
+	}
+	return b
+}
+
+// IsRegular reports whether every node has the same degree, and that degree.
+func (g *Graph) IsRegular() (int, bool) {
+	if g.n == 0 {
+		return 0, true
+	}
+	d := g.Degree(0)
+	for u := 1; u < g.n; u++ {
+		if g.Degree(NodeID(u)) != d {
+			return 0, false
+		}
+	}
+	return d, true
+}
+
+// IsConnected reports whether the graph is connected (vacuously true for
+// n <= 1).
+func (g *Graph) IsConnected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	visited := make([]bool, g.n)
+	queue := make([]NodeID, 0, g.n)
+	queue = append(queue, 0)
+	visited[0] = true
+	seen := 1
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if !visited[v] {
+				visited[v] = true
+				seen++
+				queue = append(queue, v)
+			}
+		}
+	}
+	return seen == g.n
+}

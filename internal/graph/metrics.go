@@ -1,0 +1,71 @@
+package graph
+
+import (
+	"repro/internal/par"
+)
+
+// Metrics aggregates the whole-graph distance statistics the paper's
+// Table I reports.
+type Metrics struct {
+	// AvgShortestPath is the mean hop distance over all ordered node pairs
+	// (src != dst). NaN-free: unreachable pairs make Connected false and
+	// are excluded from the mean.
+	AvgShortestPath float64
+	// Diameter is the maximum finite hop distance between any pair.
+	Diameter int32
+	// Connected reports whether every ordered pair is reachable.
+	Connected bool
+}
+
+// ComputeMetrics runs a BFS from every node (in parallel over workers;
+// workers <= 0 selects the default pool size) and aggregates distance
+// statistics.
+func ComputeMetrics(g *Graph, workers int) Metrics {
+	n := g.NumNodes()
+	if n <= 1 {
+		return Metrics{Connected: true}
+	}
+	type acc struct {
+		eng       *SPEngine
+		dist      []int32
+		sum       int64
+		pairs     int64
+		diameter  int32
+		unreached int64
+	}
+	var total acc
+	par.MapReduce(n, workers,
+		func() *acc {
+			return &acc{eng: NewSPEngine(g, TieDeterministic, nil), dist: make([]int32, n)}
+		},
+		func(i int, a *acc) {
+			a.eng.AllDistancesFrom(NodeID(i), a.dist)
+			for j, d := range a.dist {
+				if j == i {
+					continue
+				}
+				if d < 0 {
+					a.unreached++
+					continue
+				}
+				a.sum += int64(d)
+				a.pairs++
+				if d > a.diameter {
+					a.diameter = d
+				}
+			}
+		},
+		func(a *acc) {
+			total.sum += a.sum
+			total.pairs += a.pairs
+			total.unreached += a.unreached
+			if a.diameter > total.diameter {
+				total.diameter = a.diameter
+			}
+		})
+	m := Metrics{Diameter: total.diameter, Connected: total.unreached == 0}
+	if total.pairs > 0 {
+		m.AvgShortestPath = float64(total.sum) / float64(total.pairs)
+	}
+	return m
+}

@@ -1,0 +1,96 @@
+package jellyfish
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// Write serializes the topology in a line-oriented, diff-friendly format:
+//
+//	JELLYFISH 1
+//	params <N> <x> <y>
+//	edge <u> <v>      (one per undirected edge, u < v)
+//
+// so a specific RRG instance can be archived next to experiment results
+// and reloaded bit-identically.
+func (t *Topology) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "JELLYFISH 1\nparams %d %d %d\n", t.N, t.X, t.Y); err != nil {
+		return err
+	}
+	for u := graph.NodeID(0); int(u) < t.N; u++ {
+		for _, v := range t.G.Neighbors(u) {
+			if u < v {
+				if _, err := fmt.Fprintf(bw, "edge %d %d\n", u, v); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a topology written by Write, validating regularity and
+// connectivity.
+func Read(r io.Reader) (*Topology, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	line := 0
+	next := func() (string, bool) {
+		for sc.Scan() {
+			line++
+			s := strings.TrimSpace(sc.Text())
+			if s != "" {
+				return s, true
+			}
+		}
+		return "", false
+	}
+	hdr, ok := next()
+	if !ok || hdr != "JELLYFISH 1" {
+		return nil, fmt.Errorf("jellyfish: bad header %q", hdr)
+	}
+	ps, ok := next()
+	if !ok {
+		return nil, fmt.Errorf("jellyfish: missing params line")
+	}
+	var p Params
+	if _, err := fmt.Sscanf(ps, "params %d %d %d", &p.N, &p.X, &p.Y); err != nil {
+		return nil, fmt.Errorf("jellyfish: line %d: %v", line, err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	b := graph.NewBuilder(p.N)
+	for {
+		s, ok := next()
+		if !ok {
+			break
+		}
+		var u, v graph.NodeID
+		if _, err := fmt.Sscanf(s, "edge %d %d", &u, &v); err != nil {
+			return nil, fmt.Errorf("jellyfish: line %d: %v", line, err)
+		}
+		if u < 0 || int(u) >= p.N || v < 0 || int(v) >= p.N || u == v {
+			return nil, fmt.Errorf("jellyfish: line %d: bad edge %d-%d", line, u, v)
+		}
+		if !b.AddEdge(u, v) {
+			return nil, fmt.Errorf("jellyfish: line %d: duplicate edge %d-%d", line, u, v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	g := b.Graph()
+	if d, reg := g.IsRegular(); !reg || d != p.Y {
+		return nil, fmt.Errorf("jellyfish: graph is not %d-regular", p.Y)
+	}
+	if !g.IsConnected() {
+		return nil, fmt.Errorf("jellyfish: graph is disconnected")
+	}
+	return &Topology{G: g, N: p.N, X: p.X, Y: p.Y}, nil
+}

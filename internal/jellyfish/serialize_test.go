@@ -1,0 +1,72 @@
+package jellyfish
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/xrand"
+)
+
+func TestTopologyRoundTrip(t *testing.T) {
+	orig := MustNew(Params{N: 20, X: 10, Y: 6}, xrand.New(9))
+	var buf bytes.Buffer
+	if err := orig.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != orig.N || got.X != orig.X || got.Y != orig.Y {
+		t.Fatalf("params changed: %+v", got.Params())
+	}
+	for u := graph.NodeID(0); int(u) < orig.N; u++ {
+		a, b := orig.G.Neighbors(u), got.G.Neighbors(u)
+		if len(a) != len(b) {
+			t.Fatalf("degree differs at %d", u)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("adjacency differs at %d", u)
+			}
+		}
+	}
+}
+
+func TestReadRejectsBadHeader(t *testing.T) {
+	if _, err := Read(strings.NewReader("WHAT 1\n")); err == nil {
+		t.Fatal("bad header accepted")
+	}
+}
+
+func TestReadRejectsIrregular(t *testing.T) {
+	in := "JELLYFISH 1\nparams 4 4 2\nedge 0 1\nedge 1 2\nedge 2 3\nedge 3 0\nedge 0 2\n"
+	if _, err := Read(strings.NewReader(in)); err == nil {
+		t.Fatal("irregular graph accepted")
+	}
+}
+
+func TestReadRejectsDuplicateEdge(t *testing.T) {
+	in := "JELLYFISH 1\nparams 4 4 2\nedge 0 1\nedge 1 0\n"
+	if _, err := Read(strings.NewReader(in)); err == nil {
+		t.Fatal("duplicate edge accepted")
+	}
+}
+
+func TestReadRejectsDisconnected(t *testing.T) {
+	// Two disjoint squares: 2-regular but disconnected.
+	in := "JELLYFISH 1\nparams 8 4 2\n" +
+		"edge 0 1\nedge 1 2\nedge 2 3\nedge 0 3\n" +
+		"edge 4 5\nedge 5 6\nedge 6 7\nedge 4 7\n"
+	if _, err := Read(strings.NewReader(in)); err == nil {
+		t.Fatal("disconnected graph accepted")
+	}
+}
+
+func TestReadRejectsBadParams(t *testing.T) {
+	if _, err := Read(strings.NewReader("JELLYFISH 1\nparams 4 2 3\n")); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}

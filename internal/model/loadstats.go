@@ -1,0 +1,102 @@
+package model
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/jellyfish"
+	"repro/internal/par"
+	"repro/internal/traffic"
+)
+
+// LoadStats summarizes how evenly a (pattern, path set) combination
+// spreads sub-flows over the network links — the load-imbalance story
+// behind the paper's Section III analysis, made directly measurable.
+// Loads count sub-flow traversals per directed switch-to-switch link
+// (terminal channels excluded: their load is fixed by the pattern, not
+// the path selection).
+type LoadStats struct {
+	// Links is the number of directed switch links.
+	Links int
+	// Mean and Max are the mean and maximum link loads.
+	Mean, Max float64
+	// StdDev is the population standard deviation of link loads.
+	StdDev float64
+	// P99 is the 99th percentile link load.
+	P99 float64
+	// Top1Share is the fraction of all traversals carried by the most
+	// loaded 1% of links — near 0.01 for perfect balance.
+	Top1Share float64
+	// Unused is the number of links carrying no sub-flow at all.
+	Unused int
+}
+
+// LinkLoads computes per-directed-link sub-flow counts for the pattern
+// under the provider's path sets.
+func LinkLoads(topo *jellyfish.Topology, db PathProvider, pat traffic.Pattern, workers int) []int64 {
+	g := topo.G
+	loads := make([]int64, g.NumDirectedLinks())
+	par.MapReduce(len(pat.Flows), workers,
+		func() []int64 { return make([]int64, len(loads)) },
+		func(i int, local []int64) {
+			f := pat.Flows[i]
+			s, d := topo.SwitchOf(f.Src), topo.SwitchOf(f.Dst)
+			for _, p := range subflowsOf(db, s, d) {
+				for h := 0; h+1 < len(p); h++ {
+					local[g.LinkID(p[h], p[h+1])]++
+				}
+			}
+		},
+		func(local []int64) {
+			for i, v := range local {
+				loads[i] += v
+			}
+		})
+	return loads
+}
+
+// AnalyzeLoads reduces a load vector to LoadStats.
+func AnalyzeLoads(loads []int64) LoadStats {
+	st := LoadStats{Links: len(loads)}
+	if len(loads) == 0 {
+		return st
+	}
+	var sum, sumSq float64
+	var total int64
+	for _, l := range loads {
+		v := float64(l)
+		sum += v
+		sumSq += v * v
+		total += l
+		if v > st.Max {
+			st.Max = v
+		}
+		if l == 0 {
+			st.Unused++
+		}
+	}
+	n := float64(len(loads))
+	st.Mean = sum / n
+	st.StdDev = math.Sqrt(sumSq/n - st.Mean*st.Mean)
+
+	sorted := append([]int64(nil), loads...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	st.P99 = float64(sorted[(len(sorted)*99)/100])
+	if total > 0 {
+		topN := len(sorted) / 100
+		if topN < 1 {
+			topN = 1
+		}
+		var topSum int64
+		for _, l := range sorted[len(sorted)-topN:] {
+			topSum += l
+		}
+		st.Top1Share = float64(topSum) / float64(total)
+	}
+	return st
+}
+
+// LoadImbalance is a convenience: LinkLoads followed by AnalyzeLoads.
+func LoadImbalance(topo *jellyfish.Topology, db PathProvider, pat traffic.Pattern, workers int) LoadStats {
+	return AnalyzeLoads(LinkLoads(topo, db, pat, workers))
+}

@@ -1,0 +1,69 @@
+package model
+
+import (
+	"testing"
+
+	"repro/internal/ksp"
+	"repro/internal/paths"
+	"repro/internal/traffic"
+	"repro/internal/xrand"
+)
+
+func TestAnalyzeLoadsBasics(t *testing.T) {
+	st := AnalyzeLoads([]int64{0, 2, 2, 4})
+	if st.Links != 4 || st.Mean != 2 || st.Max != 4 || st.Unused != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.StdDev < 1.4 || st.StdDev > 1.5 { // population stddev of {0,2,2,4} is sqrt(2)
+		t.Fatalf("stddev = %v", st.StdDev)
+	}
+}
+
+func TestAnalyzeLoadsEmpty(t *testing.T) {
+	if st := AnalyzeLoads(nil); st.Links != 0 || st.Max != 0 {
+		t.Fatalf("empty stats = %+v", st)
+	}
+}
+
+func TestLinkLoadsCountSubflows(t *testing.T) {
+	topo := twoSwitch(1)
+	db := dbFor(t, topo, ksp.KSP, 1)
+	pat := traffic.Pattern{NumTerminals: 2, Flows: []traffic.Flow{{Src: 0, Dst: 1}}}
+	loads := LinkLoads(topo, db, pat, 1)
+	if len(loads) != 2 { // 0->1 and 1->0
+		t.Fatalf("links = %d", len(loads))
+	}
+	if loads[topo.G.LinkID(0, 1)] != 1 || loads[topo.G.LinkID(1, 0)] != 0 {
+		t.Fatalf("loads = %v", loads)
+	}
+}
+
+func TestEdgeDisjointBalancesBetterThanKSP(t *testing.T) {
+	// The crux of the paper's Section III: rEDKSP spreads sub-flows more
+	// evenly than vanilla KSP. Compare max link load over several shift
+	// patterns.
+	topo := jellyTopo(t)
+	dbK := paths.BuildAllPairs(topo.G, ksp.Config{Alg: ksp.KSP, K: 4}, 3, 0)
+	dbR := paths.BuildAllPairs(topo.G, ksp.Config{Alg: ksp.REDKSP, K: 4}, 3, 0)
+	rng := xrand.New(31)
+	var maxK, maxR float64
+	for i := 0; i < 6; i++ {
+		pat := traffic.RandomShift(topo.NumTerminals(), rng)
+		maxK += LoadImbalance(topo, dbK, pat, 0).Max
+		maxR += LoadImbalance(topo, dbR, pat, 0).Max
+	}
+	if maxR >= maxK {
+		t.Fatalf("rEDKSP max load %v not below KSP %v", maxR/6, maxK/6)
+	}
+}
+
+func TestLoadStatsDeterministic(t *testing.T) {
+	topo := jellyTopo(t)
+	db := paths.BuildAllPairs(topo.G, ksp.Config{Alg: ksp.RKSP, K: 4}, 5, 0)
+	pat := traffic.RandomPermutation(topo.NumTerminals(), xrand.New(2))
+	a := LoadImbalance(topo, db, pat, 1)
+	b := LoadImbalance(topo, db, pat, 4)
+	if a != b {
+		t.Fatalf("load stats differ across worker counts: %+v vs %+v", a, b)
+	}
+}

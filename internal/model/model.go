@@ -1,0 +1,204 @@
+// Package model implements the multi-path throughput model the paper uses
+// for Figures 4-6 (Equation 1, after Yuan et al. SC'13).
+//
+// Every flow (a source terminal/destination terminal pair of the traffic
+// pattern) is realized as k MPTCP-like sub-flows, one per path of the
+// pair's path set. The model counts, for every link, how many sub-flows
+// cross it; a link used X times has load X (unit capacities). Each
+// sub-flow's rate is the reciprocal of the maximum load along its path,
+// and a flow's throughput is the sum of its sub-flow rates:
+//
+//	T(s,d) = Σ_{n=1..k} 1 / max_{l ∈ path_n(s,d)} load_l
+//
+// Links include the terminal injection and ejection channels, so a
+// terminal's aggregate throughput is naturally normalized: 1.0 means the
+// terminal's flows move at full link speed, which is how the paper's
+// figures present results.
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/jellyfish"
+	"repro/internal/ksp"
+	"repro/internal/par"
+	"repro/internal/paths"
+	"repro/internal/traffic"
+)
+
+// Result reports modeled throughput for one (topology, path set, pattern)
+// combination.
+type Result struct {
+	// Pattern names the traffic pattern.
+	Pattern string
+	// Selector names the path-selection scheme.
+	Selector string
+	// PerFlow holds T(s,d) for every flow, in pattern order.
+	PerFlow []float64
+	// PerNode holds the per-terminal normalized throughput: the sum of
+	// T over the flows the terminal sources (the quantity in Figures 4-6).
+	// Terminals that source no flow hold NaN-free zero and are excluded
+	// from MeanNode.
+	PerNode []float64
+	// MeanFlow is the mean of PerFlow.
+	MeanFlow float64
+	// MeanNode is the mean of PerNode over sending terminals.
+	MeanNode float64
+	// MinNode and MaxNode are extremes over sending terminals.
+	MinNode, MaxNode float64
+}
+
+// PathProvider supplies the path set per ordered switch pair; *paths.DB is
+// the canonical implementation.
+type PathProvider interface {
+	Paths(s, d graph.NodeID) []graph.Path
+	Config() ksp.Config
+}
+
+// subflowsOf returns the paths used for a flow between the two switches,
+// resolved through the provider (nil for same-switch flows, which use no
+// network links).
+func subflowsOf(db PathProvider, s, d graph.NodeID) []graph.Path {
+	if s == d {
+		return nil
+	}
+	return db.Paths(s, d)
+}
+
+// Throughput evaluates the model for one traffic pattern over the path DB.
+// workers <= 0 selects the default pool size.
+func Throughput(topo *jellyfish.Topology, db PathProvider, pat traffic.Pattern, workers int) Result {
+	if pat.NumTerminals != topo.NumTerminals() {
+		panic(fmt.Sprintf("model: pattern has %d terminals, topology %d",
+			pat.NumTerminals, topo.NumTerminals()))
+	}
+	g := topo.G
+	nLinks := g.NumDirectedLinks()
+	nTerms := topo.NumTerminals()
+	// Link load layout: [0, nLinks) switch links, then injection links
+	// (one per terminal), then ejection links.
+	loads := make([]int64, nLinks+2*nTerms)
+	inj := func(t int) int { return nLinks + t }
+	ej := func(t int) int { return nLinks + nTerms + t }
+
+	// Pass 1: accumulate link usage counts in parallel.
+	par.MapReduce(len(pat.Flows), workers,
+		func() []int64 { return make([]int64, len(loads)) },
+		func(i int, local []int64) {
+			f := pat.Flows[i]
+			s, d := topo.SwitchOf(f.Src), topo.SwitchOf(f.Dst)
+			ps := subflowsOf(db, s, d)
+			if len(ps) == 0 {
+				// Same-switch flow: one sub-flow over inject+eject only.
+				local[inj(f.Src)]++
+				local[ej(f.Dst)]++
+				return
+			}
+			for _, p := range ps {
+				local[inj(f.Src)]++
+				local[ej(f.Dst)]++
+				for h := 0; h+1 < len(p); h++ {
+					local[g.LinkID(p[h], p[h+1])]++
+				}
+			}
+		},
+		func(local []int64) {
+			for i, v := range local {
+				loads[i] += v
+			}
+		})
+
+	// Pass 2: per-flow rates.
+	res := Result{
+		Pattern:  pat.Name,
+		Selector: db.Config().Alg.String(),
+		PerFlow:  make([]float64, len(pat.Flows)),
+		PerNode:  make([]float64, nTerms),
+	}
+	par.For(len(pat.Flows), workers, func(i int) {
+		f := pat.Flows[i]
+		s, d := topo.SwitchOf(f.Src), topo.SwitchOf(f.Dst)
+		ps := subflowsOf(db, s, d)
+		if len(ps) == 0 {
+			maxLoad := loads[inj(f.Src)]
+			if l := loads[ej(f.Dst)]; l > maxLoad {
+				maxLoad = l
+			}
+			res.PerFlow[i] = 1 / float64(maxLoad)
+			return
+		}
+		var t float64
+		for _, p := range ps {
+			maxLoad := loads[inj(f.Src)]
+			if l := loads[ej(f.Dst)]; l > maxLoad {
+				maxLoad = l
+			}
+			for h := 0; h+1 < len(p); h++ {
+				if l := loads[g.LinkID(p[h], p[h+1])]; l > maxLoad {
+					maxLoad = l
+				}
+			}
+			t += 1 / float64(maxLoad)
+		}
+		res.PerFlow[i] = t
+	})
+
+	// Aggregate per node and overall.
+	sends := make([]bool, nTerms)
+	var flowSum float64
+	for i, f := range pat.Flows {
+		res.PerNode[f.Src] += res.PerFlow[i]
+		sends[f.Src] = true
+		flowSum += res.PerFlow[i]
+	}
+	if len(pat.Flows) > 0 {
+		res.MeanFlow = flowSum / float64(len(pat.Flows))
+	}
+	var nodeSum float64
+	senders := 0
+	res.MinNode = -1
+	for t := 0; t < nTerms; t++ {
+		if !sends[t] {
+			continue
+		}
+		v := res.PerNode[t]
+		nodeSum += v
+		senders++
+		if res.MinNode < 0 || v < res.MinNode {
+			res.MinNode = v
+		}
+		if v > res.MaxNode {
+			res.MaxNode = v
+		}
+	}
+	if senders > 0 {
+		res.MeanNode = nodeSum / float64(senders)
+	}
+	if res.MinNode < 0 {
+		res.MinNode = 0
+	}
+	return res
+}
+
+// SinglePath evaluates the model with only the first (shortest) path of
+// each pair, the paper's "SP" baseline. It works by wrapping the DB in a
+// one-path view.
+func SinglePath(topo *jellyfish.Topology, db *paths.DB, pat traffic.Pattern, workers int) Result {
+	r := Throughput(topo, &singlePathView{db}, pat, workers)
+	r.Selector = "SP"
+	return r
+}
+
+// singlePathView adapts paths.DB to expose only the shortest path per pair.
+// It satisfies the same method set Throughput needs via embedding, so the
+// Throughput implementation is reused unchanged.
+type singlePathView struct{ *paths.DB }
+
+func (v *singlePathView) Paths(s, d graph.NodeID) []graph.Path {
+	ps := v.DB.Paths(s, d)
+	if len(ps) == 0 {
+		return nil
+	}
+	return ps[:1]
+}

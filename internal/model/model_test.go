@@ -1,0 +1,199 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/jellyfish"
+	"repro/internal/ksp"
+	"repro/internal/paths"
+	"repro/internal/traffic"
+	"repro/internal/xrand"
+)
+
+// twoSwitch builds a 2-switch topology joined by one link with
+// terminalsPer terminals on each switch.
+func twoSwitch(terminalsPer int) *jellyfish.Topology {
+	b := graph.NewBuilder(2)
+	b.AddEdge(0, 1)
+	return &jellyfish.Topology{G: b.Graph(), N: 2, X: terminalsPer + 1, Y: 1}
+}
+
+func dbFor(t *testing.T, topo *jellyfish.Topology, alg ksp.Algorithm, k int) *paths.DB {
+	t.Helper()
+	return paths.BuildAllPairs(topo.G, ksp.Config{Alg: alg, K: k}, 1, 1)
+}
+
+func TestSingleFlowFullSpeed(t *testing.T) {
+	topo := twoSwitch(1)
+	db := dbFor(t, topo, ksp.KSP, 1)
+	pat := traffic.Pattern{Name: "one", NumTerminals: 2, Flows: []traffic.Flow{{Src: 0, Dst: 1}}}
+	r := Throughput(topo, db, pat, 1)
+	if r.PerFlow[0] != 1 {
+		t.Fatalf("single uncontended flow rate = %v, want 1", r.PerFlow[0])
+	}
+	if r.MeanNode != 1 || r.MinNode != 1 || r.MaxNode != 1 {
+		t.Fatalf("node stats = %+v", r)
+	}
+}
+
+func TestOppositeDirectionsDoNotContend(t *testing.T) {
+	topo := twoSwitch(1)
+	db := dbFor(t, topo, ksp.KSP, 1)
+	pat := traffic.Pattern{NumTerminals: 2, Flows: []traffic.Flow{{Src: 0, Dst: 1}, {Src: 1, Dst: 0}}}
+	r := Throughput(topo, db, pat, 1)
+	for i, v := range r.PerFlow {
+		if v != 1 {
+			t.Fatalf("flow %d rate = %v, want 1 (directed links are independent)", i, v)
+		}
+	}
+}
+
+func TestSharedLinkHalvesRates(t *testing.T) {
+	topo := twoSwitch(2) // terminals 0,1 on switch 0; terminals 2,3 on switch 1
+	db := dbFor(t, topo, ksp.KSP, 1)
+	pat := traffic.Pattern{NumTerminals: 4, Flows: []traffic.Flow{{Src: 0, Dst: 2}, {Src: 1, Dst: 3}}}
+	r := Throughput(topo, db, pat, 1)
+	for i, v := range r.PerFlow {
+		if v != 0.5 {
+			t.Fatalf("flow %d rate = %v, want 0.5 (two flows share one link)", i, v)
+		}
+	}
+}
+
+func TestSameSwitchFlowBypassesNetwork(t *testing.T) {
+	topo := twoSwitch(2)
+	db := dbFor(t, topo, ksp.KSP, 1)
+	pat := traffic.Pattern{NumTerminals: 4, Flows: []traffic.Flow{{Src: 0, Dst: 1}}}
+	r := Throughput(topo, db, pat, 1)
+	if r.PerFlow[0] != 1 {
+		t.Fatalf("same-switch flow rate = %v, want 1", r.PerFlow[0])
+	}
+}
+
+func TestInjectionBottleneck(t *testing.T) {
+	// One terminal sending two flows: the injection link load is 2, so each
+	// flow gets at most 1/2 and the node total is at most 1.
+	topo := twoSwitch(2)
+	db := dbFor(t, topo, ksp.KSP, 1)
+	pat := traffic.Pattern{NumTerminals: 4, Flows: []traffic.Flow{{Src: 0, Dst: 2}, {Src: 0, Dst: 3}}}
+	r := Throughput(topo, db, pat, 1)
+	if r.PerFlow[0] != 0.5 || r.PerFlow[1] != 0.5 {
+		t.Fatalf("rates = %v, want 0.5 each", r.PerFlow)
+	}
+	if r.PerNode[0] != 1 {
+		t.Fatalf("node 0 throughput = %v, want 1", r.PerNode[0])
+	}
+}
+
+func TestMultiPathSubflowsSumOverPaths(t *testing.T) {
+	// Square of switches: two edge-disjoint 2-hop paths from switch 0 to
+	// switch 2. One flow with k=2: the injection link carries both
+	// sub-flows (load 2), so T = 1/2 + 1/2 = 1.
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	b.AddEdge(3, 0)
+	topo := &jellyfish.Topology{G: b.Graph(), N: 4, X: 3, Y: 2}
+	db := paths.BuildAllPairs(topo.G, ksp.Config{Alg: ksp.EDKSP, K: 2}, 1, 1)
+	pat := traffic.Pattern{NumTerminals: 4, Flows: []traffic.Flow{{Src: 0, Dst: 2}}}
+	r := Throughput(topo, db, pat, 1)
+	if r.PerFlow[0] != 1 {
+		t.Fatalf("two-path flow rate = %v, want 1", r.PerFlow[0])
+	}
+}
+
+func jellyTopo(t *testing.T) *jellyfish.Topology {
+	t.Helper()
+	topo, err := jellyfish.New(jellyfish.Params{N: 24, X: 12, Y: 8}, xrand.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func TestPerNodeBoundedByOne(t *testing.T) {
+	topo := jellyTopo(t)
+	n := topo.NumTerminals()
+	rng := xrand.New(7)
+	for _, alg := range []ksp.Algorithm{ksp.KSP, ksp.REDKSP} {
+		db := paths.BuildAllPairs(topo.G, ksp.Config{Alg: alg, K: 4}, 3, 0)
+		for _, pat := range []traffic.Pattern{
+			traffic.RandomPermutation(n, rng),
+			traffic.RandomShift(n, rng),
+			traffic.RandomX(n, 10, rng),
+		} {
+			r := Throughput(topo, db, pat, 0)
+			if r.MeanNode <= 0 || r.MeanNode > 1+1e-9 {
+				t.Fatalf("%v/%s: mean node throughput = %v", alg, pat.Name, r.MeanNode)
+			}
+			if r.MaxNode > 1+1e-9 {
+				t.Fatalf("%v/%s: max node throughput = %v > 1", alg, pat.Name, r.MaxNode)
+			}
+			for i, v := range r.PerFlow {
+				if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("%v/%s: flow %d rate %v", alg, pat.Name, i, v)
+				}
+			}
+		}
+	}
+}
+
+func TestMultiPathBeatsSinglePath(t *testing.T) {
+	// Headline result: multi-path routing consistently outperforms single
+	// path routing under the model.
+	topo := jellyTopo(t)
+	db := paths.BuildAllPairs(topo.G, ksp.Config{Alg: ksp.REDKSP, K: 4}, 3, 0)
+	rng := xrand.New(13)
+	pat := traffic.RandomShift(topo.NumTerminals(), rng)
+	multi := Throughput(topo, db, pat, 0)
+	single := SinglePath(topo, db, pat, 0)
+	if single.Selector != "SP" {
+		t.Fatalf("selector = %q", single.Selector)
+	}
+	if multi.MeanNode <= single.MeanNode {
+		t.Fatalf("multi %v <= single %v", multi.MeanNode, single.MeanNode)
+	}
+}
+
+func TestREDKSPBeatsKSPOnAverage(t *testing.T) {
+	// The paper's headline path-selection result, averaged over a few
+	// random shift patterns to avoid single-sample noise.
+	topo := jellyTopo(t)
+	dbKSP := paths.BuildAllPairs(topo.G, ksp.Config{Alg: ksp.KSP, K: 4}, 3, 0)
+	dbRED := paths.BuildAllPairs(topo.G, ksp.Config{Alg: ksp.REDKSP, K: 4}, 3, 0)
+	rng := xrand.New(17)
+	var sumKSP, sumRED float64
+	for i := 0; i < 8; i++ {
+		pat := traffic.RandomShift(topo.NumTerminals(), rng)
+		sumKSP += Throughput(topo, dbKSP, pat, 0).MeanNode
+		sumRED += Throughput(topo, dbRED, pat, 0).MeanNode
+	}
+	if sumRED <= sumKSP {
+		t.Fatalf("rEDKSP %.4f <= KSP %.4f over 8 shift patterns", sumRED/8, sumKSP/8)
+	}
+}
+
+func TestThroughputDeterministicAcrossWorkers(t *testing.T) {
+	topo := jellyTopo(t)
+	db := paths.BuildAllPairs(topo.G, ksp.Config{Alg: ksp.RKSP, K: 4}, 5, 0)
+	pat := traffic.RandomPermutation(topo.NumTerminals(), xrand.New(3))
+	a := Throughput(topo, db, pat, 1)
+	b := Throughput(topo, db, pat, 8)
+	if a.MeanNode != b.MeanNode || a.MeanFlow != b.MeanFlow {
+		t.Fatalf("results differ across worker counts: %v vs %v", a.MeanNode, b.MeanNode)
+	}
+}
+
+func TestPatternSizeMismatchPanics(t *testing.T) {
+	topo := jellyTopo(t)
+	db := paths.BuildAllPairs(topo.G, ksp.Config{Alg: ksp.KSP, K: 2}, 1, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on terminal count mismatch")
+		}
+	}()
+	Throughput(topo, db, traffic.Pattern{NumTerminals: 5}, 1)
+}

@@ -1,0 +1,74 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		n := 1000
+		hits := make([]atomic.Int32, n)
+		For(n, workers, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if hits[i].Load() != 1 {
+				t.Fatalf("workers=%d: index %d hit %d times", workers, i, hits[i].Load())
+			}
+		}
+	}
+}
+
+func TestForZeroAndNegative(t *testing.T) {
+	called := false
+	For(0, 4, func(int) { called = true })
+	For(-5, 4, func(int) { called = true })
+	if called {
+		t.Fatal("body called for empty range")
+	}
+}
+
+func TestForWorkerStateIsolation(t *testing.T) {
+	// Each worker's state must be private: the counters summed at the end
+	// must equal n without any atomic in the body.
+	n := 10000
+	var total atomic.Int64
+	ForWorkerFinish(n, 8,
+		func() *int64 { v := int64(0); return &v },
+		func(_ int, c *int64) { *c++ },
+		func(c *int64) { total.Add(*c) })
+	if total.Load() != int64(n) {
+		t.Fatalf("total = %d, want %d", total.Load(), n)
+	}
+}
+
+func TestMapReduce(t *testing.T) {
+	n := 5000
+	sum := 0
+	MapReduce(n, 6,
+		func() *int { v := 0; return &v },
+		func(i int, acc *int) { *acc += i },
+		func(acc *int) { sum += *acc })
+	want := n * (n - 1) / 2
+	if sum != want {
+		t.Fatalf("sum = %d, want %d", sum, want)
+	}
+}
+
+func TestMapReduceSingleWorker(t *testing.T) {
+	count := 0
+	MapReduce(100, 1,
+		func() *int { v := 0; return &v },
+		func(_ int, acc *int) { *acc++ },
+		func(acc *int) { count += *acc })
+	if count != 100 {
+		t.Fatalf("count = %d", count)
+	}
+}
+
+func TestMoreWorkersThanWork(t *testing.T) {
+	var hits atomic.Int32
+	For(3, 100, func(int) { hits.Add(1) })
+	if hits.Load() != 3 {
+		t.Fatalf("hits = %d", hits.Load())
+	}
+}

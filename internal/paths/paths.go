@@ -1,0 +1,279 @@
+// Package paths stores and analyzes the multi-path sets computed by the
+// ksp selectors. It provides:
+//
+//   - DB, a concurrency-safe store of the k paths per ordered switch pair,
+//     filled eagerly in parallel (all pairs or a sampled subset) or lazily
+//     on first use, with per-pair deterministic randomness so results are
+//     independent of worker scheduling;
+//   - Quality, the path-quality metrics behind the paper's Tables II-IV:
+//     average path length, the percentage of switch pairs whose k paths
+//     share no link, and the maximum number of one pair's paths that share
+//     a single link.
+package paths
+
+import (
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/ksp"
+	"repro/internal/par"
+	"repro/internal/xrand"
+)
+
+// Pair is an ordered (source switch, destination switch) pair.
+type Pair struct {
+	Src, Dst graph.NodeID
+}
+
+func pairKey(s, d graph.NodeID) uint64 {
+	return uint64(uint32(s))<<32 | uint64(uint32(d))
+}
+
+// DB holds the computed path sets for one graph, one selector config and
+// one seed. Reads of precomputed pairs are lock-free on the fast path;
+// missing pairs are computed lazily under a lock, yielding exactly the
+// same paths an eager build would have produced (per-pair reseeding).
+type DB struct {
+	g    *graph.Graph
+	cfg  ksp.Config
+	seed uint64
+
+	mu        sync.RWMutex
+	m         map[uint64][]graph.Path
+	computers sync.Pool
+	fallbacks int
+}
+
+// NewDB creates an empty DB for lazy use.
+func NewDB(g *graph.Graph, cfg ksp.Config, seed uint64) *DB {
+	db := &DB{
+		g:    g,
+		cfg:  cfg,
+		seed: seed,
+		m:    make(map[uint64][]graph.Path),
+	}
+	db.computers.New = func() any {
+		return ksp.NewComputer(g, cfg, xrand.New(seed))
+	}
+	return db
+}
+
+// Build eagerly computes the path sets for the given pairs in parallel
+// (workers <= 0 selects the default pool).
+func Build(g *graph.Graph, cfg ksp.Config, seed uint64, pairs []Pair, workers int) *DB {
+	db := NewDB(g, cfg, seed)
+	results := make([][]graph.Path, len(pairs))
+	fallbacks := 0
+	par.MapReduce(len(pairs), workers,
+		func() *ksp.Computer { return ksp.NewComputer(g, cfg, xrand.New(seed)) },
+		func(i int, c *ksp.Computer) {
+			results[i] = db.computeWith(c, pairs[i].Src, pairs[i].Dst)
+		},
+		func(c *ksp.Computer) { fallbacks += c.Fallbacks() })
+	db.fallbacks = fallbacks
+	for i, p := range pairs {
+		db.m[pairKey(p.Src, p.Dst)] = results[i]
+	}
+	return db
+}
+
+// BuildAllPairs eagerly computes path sets for every ordered switch pair.
+func BuildAllPairs(g *graph.Graph, cfg ksp.Config, seed uint64, workers int) *DB {
+	return Build(g, cfg, seed, AllOrderedPairs(g.NumNodes()), workers)
+}
+
+// computeWith computes the pair's path set with per-pair deterministic
+// randomness: the computer's RNG is reseeded from (db.seed, src, dst), so
+// the result does not depend on which worker or call order produced it.
+func (db *DB) computeWith(c *ksp.Computer, src, dst graph.NodeID) []graph.Path {
+	c.Reseed(db.seed, pairKey(src, dst))
+	return c.Paths(src, dst)
+}
+
+// Graph returns the graph the DB routes on.
+func (db *DB) Graph() *graph.Graph { return db.g }
+
+// Config returns the selector configuration.
+func (db *DB) Config() ksp.Config { return db.cfg }
+
+// K returns the configured number of paths per pair.
+func (db *DB) K() int { return db.cfg.K }
+
+// NumPairs returns how many pairs are currently stored.
+func (db *DB) NumPairs() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.m)
+}
+
+// Fallbacks returns the number of pairs that needed the edge-disjoint
+// top-up fallback so far.
+func (db *DB) Fallbacks() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.fallbacks
+}
+
+// Paths returns the path set for (src, dst), computing it on first use.
+// The returned slice is shared and must not be modified. Self pairs return
+// nil.
+func (db *DB) Paths(src, dst graph.NodeID) []graph.Path {
+	if src == dst {
+		return nil
+	}
+	key := pairKey(src, dst)
+	db.mu.RLock()
+	ps, ok := db.m[key]
+	db.mu.RUnlock()
+	if ok {
+		return ps
+	}
+	c := db.computers.Get().(*ksp.Computer)
+	before := c.Fallbacks()
+	ps = db.computeWith(c, src, dst)
+	extra := c.Fallbacks() - before
+	db.computers.Put(c)
+
+	db.mu.Lock()
+	if prev, ok := db.m[key]; ok {
+		ps = prev // another goroutine won the race; results are identical anyway
+	} else {
+		db.m[key] = ps
+		db.fallbacks += extra
+	}
+	db.mu.Unlock()
+	return ps
+}
+
+// AllOrderedPairs enumerates every (s, d) with s != d over n switches.
+func AllOrderedPairs(n int) []Pair {
+	out := make([]Pair, 0, n*(n-1))
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s != d {
+				out = append(out, Pair{graph.NodeID(s), graph.NodeID(d)})
+			}
+		}
+	}
+	return out
+}
+
+// SamplePairs draws count distinct ordered pairs (s != d) uniformly at
+// random. If count exceeds the number of distinct pairs it returns all of
+// them.
+func SamplePairs(n, count int, rng *xrand.RNG) []Pair {
+	total := n * (n - 1)
+	if count >= total {
+		return AllOrderedPairs(n)
+	}
+	idx := rng.SampleK(total, count)
+	out := make([]Pair, len(idx))
+	for i, v := range idx {
+		s := v / (n - 1)
+		d := v % (n - 1)
+		if d >= s {
+			d++
+		}
+		out[i] = Pair{graph.NodeID(s), graph.NodeID(d)}
+	}
+	return out
+}
+
+// Quality aggregates the path-quality metrics of Tables II, III and IV.
+type Quality struct {
+	// Pairs is the number of (connected) pairs analyzed.
+	Pairs int
+	// AvgLen is the mean hop count over every path of every pair
+	// (Table II).
+	AvgLen float64
+	// DisjointFraction is the fraction of pairs whose paths share no
+	// undirected link (Table III).
+	DisjointFraction float64
+	// MaxShare is the maximum, over pairs, of the number of one pair's
+	// paths that traverse a single undirected link (Table IV). 1 means
+	// fully disjoint.
+	MaxShare int
+	// AvgPaths is the mean number of paths per pair (== k unless the
+	// selector ran out of paths).
+	AvgPaths float64
+	// Fallbacks counts pairs that used the edge-disjoint top-up fallback.
+	Fallbacks int
+}
+
+// Analyze computes path sets for the given pairs under cfg and aggregates
+// their quality metrics, in parallel.
+func Analyze(g *graph.Graph, cfg ksp.Config, seed uint64, pairs []Pair, workers int) Quality {
+	type acc struct {
+		c         *ksp.Computer
+		scratch   map[uint64]int
+		pathCount int64
+		hopCount  int64
+		pairs     int
+		disjoint  int
+		maxShare  int
+	}
+	var q Quality
+	var totHops, totPaths int64
+	par.MapReduce(len(pairs), workers,
+		func() *acc {
+			return &acc{
+				c:       ksp.NewComputer(g, cfg, xrand.New(seed)),
+				scratch: make(map[uint64]int, 64),
+			}
+		},
+		func(i int, a *acc) {
+			p := pairs[i]
+			a.c.Reseed(seed, pairKey(p.Src, p.Dst))
+			ps := a.c.Paths(p.Src, p.Dst)
+			if len(ps) == 0 {
+				return
+			}
+			a.pairs++
+			share := pairMaxShare(ps, a.scratch)
+			if share <= 1 {
+				a.disjoint++
+			}
+			if share > a.maxShare {
+				a.maxShare = share
+			}
+			for _, path := range ps {
+				a.pathCount++
+				a.hopCount += int64(path.Hops())
+			}
+		},
+		func(a *acc) {
+			q.Pairs += a.pairs
+			q.Fallbacks += a.c.Fallbacks()
+			totHops += a.hopCount
+			totPaths += a.pathCount
+			q.DisjointFraction += float64(a.disjoint) // running count, normalized below
+			if a.maxShare > q.MaxShare {
+				q.MaxShare = a.maxShare
+			}
+		})
+	if totPaths > 0 {
+		q.AvgLen = float64(totHops) / float64(totPaths)
+	}
+	if q.Pairs > 0 {
+		q.DisjointFraction /= float64(q.Pairs)
+		q.AvgPaths = float64(totPaths) / float64(q.Pairs)
+	}
+	return q
+}
+
+// pairMaxShare returns the maximum number of the pair's paths that use any
+// single undirected link. scratch is reused across calls.
+func pairMaxShare(ps []graph.Path, scratch map[uint64]int) int {
+	clear(scratch)
+	maxShare := 0
+	for _, p := range ps {
+		for i := 0; i+1 < len(p); i++ {
+			k := graph.UndirectedEdgeKey(p[i], p[i+1])
+			scratch[k]++
+			if scratch[k] > maxShare {
+				maxShare = scratch[k]
+			}
+		}
+	}
+	return maxShare
+}

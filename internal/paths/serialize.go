@@ -1,0 +1,155 @@
+package paths
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/ksp"
+)
+
+// Write serializes the DB's currently stored path sets in a line-oriented
+// format, so an expensive all-pairs computation (minutes on the medium
+// topology, hours on the large one) can be archived and reloaded:
+//
+//	PATHDB 1
+//	config <alg> <k> <seed>
+//	pair <src> <dst> <npaths>
+//	path <n0> <n1> ... <nm>
+//	...
+//
+// Pairs are emitted in unspecified order; load order does not matter.
+func (db *DB) Write(w io.Writer) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "PATHDB 1\nconfig %s %d %d\n",
+		db.cfg.Alg, db.cfg.K, db.seed); err != nil {
+		return err
+	}
+	for key, ps := range db.m {
+		src := graph.NodeID(key >> 32)
+		dst := graph.NodeID(uint32(key))
+		if _, err := fmt.Fprintf(bw, "pair %d %d %d\n", src, dst, len(ps)); err != nil {
+			return err
+		}
+		for _, p := range ps {
+			bw.WriteString("path")
+			for _, u := range p {
+				fmt.Fprintf(bw, " %d", u)
+			}
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+// Read loads a DB written by Write onto graph g, validating every path
+// against the graph. The DB's config (selector, k, seed) is restored, so
+// lazily computed additions remain consistent with the original.
+func Read(r io.Reader, g *graph.Graph) (*DB, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 256*1024*1024)
+	line := 0
+	next := func() (string, bool) {
+		for sc.Scan() {
+			line++
+			s := strings.TrimSpace(sc.Text())
+			if s != "" {
+				return s, true
+			}
+		}
+		return "", false
+	}
+	hdr, ok := next()
+	if !ok || hdr != "PATHDB 1" {
+		return nil, fmt.Errorf("paths: bad header %q", hdr)
+	}
+	cfgLine, ok := next()
+	if !ok || !strings.HasPrefix(cfgLine, "config ") {
+		return nil, fmt.Errorf("paths: missing config line")
+	}
+	fields := strings.Fields(cfgLine)
+	if len(fields) != 4 {
+		return nil, fmt.Errorf("paths: bad config line %q", cfgLine)
+	}
+	alg, err := ksp.ByName(fields[1])
+	if err != nil {
+		return nil, err
+	}
+	k, err := strconv.Atoi(fields[2])
+	if err != nil {
+		return nil, fmt.Errorf("paths: bad k: %v", err)
+	}
+	seed, err := strconv.ParseUint(fields[3], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("paths: bad seed: %v", err)
+	}
+	db := NewDB(g, ksp.Config{Alg: alg, K: k}, seed)
+
+	var curSrc, curDst graph.NodeID
+	var want int
+	var cur []graph.Path
+	flush := func() error {
+		if cur == nil {
+			return nil
+		}
+		if len(cur) != want {
+			return fmt.Errorf("paths: pair %d->%d has %d paths, header said %d",
+				curSrc, curDst, len(cur), want)
+		}
+		db.m[pairKey(curSrc, curDst)] = cur
+		cur = nil
+		return nil
+	}
+	for {
+		s, ok := next()
+		if !ok {
+			break
+		}
+		switch {
+		case strings.HasPrefix(s, "pair "):
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			var np int
+			if _, err := fmt.Sscanf(s, "pair %d %d %d", &curSrc, &curDst, &np); err != nil {
+				return nil, fmt.Errorf("paths: line %d: %v", line, err)
+			}
+			want = np
+			cur = make([]graph.Path, 0, np)
+		case strings.HasPrefix(s, "path"):
+			if cur == nil {
+				return nil, fmt.Errorf("paths: line %d: path before pair", line)
+			}
+			fields := strings.Fields(s)[1:]
+			p := make(graph.Path, len(fields))
+			for i, f := range fields {
+				v, err := strconv.Atoi(f)
+				if err != nil {
+					return nil, fmt.Errorf("paths: line %d: %v", line, err)
+				}
+				p[i] = graph.NodeID(v)
+			}
+			if !p.ValidIn(g) {
+				return nil, fmt.Errorf("paths: line %d: path %v not valid in graph", line, p)
+			}
+			if p.Src() != curSrc || p.Dst() != curDst {
+				return nil, fmt.Errorf("paths: line %d: path endpoints do not match pair", line)
+			}
+			cur = append(cur, p)
+		default:
+			return nil, fmt.Errorf("paths: line %d: unknown record %q", line, s)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}

@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// BarChart renders grouped horizontal bars as text — the terminal
+// equivalent of the paper's grouped bar figures. Groups map to the
+// figures' x-axis categories (traffic patterns, path selectors) and
+// series to the bar colors (selectors, routing mechanisms).
+type BarChart struct {
+	Title  string
+	Groups []string
+	Series []string
+	// Values[group][series].
+	Values [][]float64
+	// Width is the maximum bar width in characters (default 40).
+	Width int
+	// Unit is appended to each printed value.
+	Unit string
+}
+
+// NewBarChart creates a chart; fill Values as Values[group][series].
+func NewBarChart(title string, groups, series []string) *BarChart {
+	v := make([][]float64, len(groups))
+	for i := range v {
+		v[i] = make([]float64, len(series))
+	}
+	return &BarChart{Title: title, Groups: groups, Series: series, Values: v}
+}
+
+// String renders the chart.
+func (c *BarChart) String() string {
+	width := c.Width
+	if width <= 0 {
+		width = 40
+	}
+	maxVal := 0.0
+	for _, row := range c.Values {
+		for _, v := range row {
+			if !math.IsNaN(v) && v > maxVal {
+				maxVal = v
+			}
+		}
+	}
+	labelW := 0
+	for _, s := range c.Series {
+		if len(s) > labelW {
+			labelW = len(s)
+		}
+	}
+	var sb strings.Builder
+	if c.Title != "" {
+		sb.WriteString(c.Title)
+		sb.WriteByte('\n')
+	}
+	for gi, g := range c.Groups {
+		fmt.Fprintf(&sb, "%s\n", g)
+		for si, s := range c.Series {
+			v := c.Values[gi][si]
+			bar := 0
+			if maxVal > 0 && !math.IsNaN(v) {
+				bar = int(math.Round(v / maxVal * float64(width)))
+			}
+			if math.IsNaN(v) {
+				fmt.Fprintf(&sb, "  %-*s | %s\n", labelW, s, "n/a")
+				continue
+			}
+			fmt.Fprintf(&sb, "  %-*s |%s %.3f%s\n", labelW, s,
+				strings.Repeat("#", bar), v, c.Unit)
+		}
+	}
+	return sb.String()
+}
+
+// FromTableData builds a chart from row-major data with group labels as
+// rows and series labels as columns (the layout the exp package produces).
+func FromTableData(title string, groups, series []string, values [][]float64) *BarChart {
+	c := NewBarChart(title, groups, series)
+	for gi := range groups {
+		copy(c.Values[gi], values[gi])
+	}
+	return c
+}

@@ -1,0 +1,60 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestBarChartRender(t *testing.T) {
+	c := NewBarChart("Figure X", []string{"perm", "shift"}, []string{"KSP", "rEDKSP"})
+	c.Values[0][0] = 0.8
+	c.Values[0][1] = 1.0
+	c.Values[1][0] = 0.5
+	c.Values[1][1] = 0.6
+	c.Width = 10
+	out := c.String()
+	if !strings.Contains(out, "Figure X") || !strings.Contains(out, "perm") {
+		t.Fatalf("missing labels:\n%s", out)
+	}
+	// The max value gets the full width of '#'.
+	if !strings.Contains(out, strings.Repeat("#", 10)+" 1.000") {
+		t.Fatalf("max bar not full width:\n%s", out)
+	}
+	// 0.5 of max renders as half the width.
+	if !strings.Contains(out, strings.Repeat("#", 5)+" 0.500") {
+		t.Fatalf("half bar wrong:\n%s", out)
+	}
+}
+
+func TestBarChartNaN(t *testing.T) {
+	c := NewBarChart("", []string{"g"}, []string{"a"})
+	c.Values[0][0] = math.NaN()
+	if !strings.Contains(c.String(), "n/a") {
+		t.Fatalf("NaN not rendered as n/a:\n%s", c.String())
+	}
+}
+
+func TestBarChartZeroValues(t *testing.T) {
+	c := NewBarChart("", []string{"g"}, []string{"a", "b"})
+	out := c.String() // all zeros: no panic, no bars
+	if strings.Contains(out, "#") {
+		t.Fatalf("zero chart has bars:\n%s", out)
+	}
+}
+
+func TestFromTableData(t *testing.T) {
+	c := FromTableData("t", []string{"g1"}, []string{"s1", "s2"}, [][]float64{{1, 2}})
+	if c.Values[0][1] != 2 {
+		t.Fatal("values not copied")
+	}
+}
+
+func TestBarChartUnit(t *testing.T) {
+	c := NewBarChart("", []string{"g"}, []string{"a"})
+	c.Values[0][0] = 3
+	c.Unit = "ms"
+	if !strings.Contains(c.String(), "3.000ms") {
+		t.Fatalf("unit missing:\n%s", c.String())
+	}
+}

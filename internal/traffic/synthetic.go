@@ -1,0 +1,128 @@
+package traffic
+
+import (
+	"fmt"
+
+	"repro/internal/xrand"
+)
+
+// Additional synthetic patterns from the Booksim/interconnect literature.
+// The paper evaluates permutation, shift, Random(X), all-to-all and
+// uniform; these extras round out the simulator substrate so it covers the
+// standard suite a Booksim replacement is expected to have.
+
+// BitComplement sends from node i to node (n-1-i): the classic worst-ish
+// case that forces traffic across the network's "middle".
+func BitComplement(n int) Pattern {
+	flows := make([]Flow, 0, n)
+	for i := 0; i < n; i++ {
+		d := n - 1 - i
+		if d != i {
+			flows = append(flows, Flow{Src: i, Dst: d})
+		}
+	}
+	return Pattern{Name: "bit-complement", NumTerminals: n, Flows: flows}
+}
+
+// Transpose views nodes as an r x r matrix (r = floor(sqrt(n))) and sends
+// (row, col) -> (col, row); nodes beyond r*r and diagonal entries stay
+// silent. On Jellyfish this is simply another fixed permutation-like
+// pattern, provided for cross-topology comparisons.
+func Transpose(n int) Pattern {
+	r := 1
+	for (r+1)*(r+1) <= n {
+		r++
+	}
+	flows := make([]Flow, 0, r*r)
+	for row := 0; row < r; row++ {
+		for col := 0; col < r; col++ {
+			src := row*r + col
+			dst := col*r + row
+			if src != dst {
+				flows = append(flows, Flow{Src: src, Dst: dst})
+			}
+		}
+	}
+	return Pattern{Name: "transpose", NumTerminals: n, Flows: flows}
+}
+
+// Tornado sends from node i to node (i + ceil(n/2) - 1) mod n, the
+// adversarial pattern for ring-like topologies; on an RRG it behaves like
+// a fixed shift and is provided for completeness.
+func Tornado(n int) Pattern {
+	if n < 3 {
+		panic(fmt.Sprintf("traffic: tornado needs n >= 3, got %d", n))
+	}
+	off := (n+1)/2 - 1
+	if off < 1 {
+		off = 1
+	}
+	flows := make([]Flow, 0, n)
+	for i := 0; i < n; i++ {
+		flows = append(flows, Flow{Src: i, Dst: (i + off) % n})
+	}
+	return Pattern{Name: "tornado", NumTerminals: n, Flows: flows}
+}
+
+// Hotspot sends all traffic from every node to h randomly chosen hotspot
+// destinations (each sender picks one hotspot uniformly per packet via
+// NewFixedSampler, or one fixed hotspot per sender here): the incast
+// pattern that stresses ejection bandwidth.
+func Hotspot(n, h int, rng *xrand.RNG) Pattern {
+	if h < 1 || h >= n {
+		panic(fmt.Sprintf("traffic: hotspot needs 1 <= h < n, got h=%d n=%d", h, n))
+	}
+	hot := rng.SampleK(n, h)
+	flows := make([]Flow, 0, n)
+	for i := 0; i < n; i++ {
+		d := hot[rng.IntN(len(hot))]
+		if d == i {
+			d = hot[(indexOf(hot, d)+1)%len(hot)]
+			if d == i { // single hotspot that is the sender itself
+				continue
+			}
+		}
+		flows = append(flows, Flow{Src: i, Dst: d})
+	}
+	return Pattern{Name: fmt.Sprintf("hotspot(%d)", h), NumTerminals: n, Flows: flows}
+}
+
+func indexOf(s []int, v int) int {
+	for i, x := range s {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// ByName builds a fixed pattern by name, for command-line use. Names:
+// permutation, shift, random(X) (x param), all-to-all, bit-complement,
+// transpose, tornado, hotspot (x param = hotspot count).
+func ByName(name string, n, x int, rng *xrand.RNG) (Pattern, error) {
+	switch name {
+	case "permutation":
+		return RandomPermutation(n, rng), nil
+	case "shift":
+		return RandomShift(n, rng), nil
+	case "random", "random(X)":
+		if x <= 0 {
+			x = 50
+		}
+		return RandomX(n, x, rng), nil
+	case "all-to-all":
+		return AllToAll(n), nil
+	case "bit-complement":
+		return BitComplement(n), nil
+	case "transpose":
+		return Transpose(n), nil
+	case "tornado":
+		return Tornado(n), nil
+	case "hotspot":
+		if x <= 0 {
+			x = 4
+		}
+		return Hotspot(n, x, rng), nil
+	}
+	return Pattern{}, fmt.Errorf("traffic: unknown pattern %q", name)
+}

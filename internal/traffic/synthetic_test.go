@@ -1,0 +1,127 @@
+package traffic
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestBitComplement(t *testing.T) {
+	p := BitComplement(8)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Flows) != 8 {
+		t.Fatalf("flows = %d", len(p.Flows))
+	}
+	for _, f := range p.Flows {
+		if f.Dst != 7-f.Src {
+			t.Fatalf("bad flow %v", f)
+		}
+	}
+	// Odd n: the middle node is its own complement and stays silent.
+	p = BitComplement(7)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Flows) != 6 {
+		t.Fatalf("odd-n flows = %d", len(p.Flows))
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	p := Transpose(16) // 4x4
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 16 cells minus 4 diagonal entries.
+	if len(p.Flows) != 12 {
+		t.Fatalf("flows = %d", len(p.Flows))
+	}
+	// (row 1, col 2) = node 6 -> (row 2, col 1) = node 9.
+	found := false
+	for _, f := range p.Flows {
+		if f.Src == 6 && f.Dst == 9 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("transpose mapping wrong")
+	}
+	// Non-square n uses the largest embedded square.
+	p = Transpose(20)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range p.Flows {
+		if f.Src >= 16 || f.Dst >= 16 {
+			t.Fatalf("flow outside the 4x4 square: %v", f)
+		}
+	}
+}
+
+func TestTornado(t *testing.T) {
+	p := Tornado(10)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Flows) != 10 {
+		t.Fatalf("flows = %d", len(p.Flows))
+	}
+	// Offset is (n+1)/2 - 1 = 4 for n = 10.
+	for _, f := range p.Flows {
+		if f.Dst != (f.Src+4)%10 {
+			t.Fatalf("bad tornado flow %v", f)
+		}
+	}
+	mustPanicT(t, func() { Tornado(2) })
+}
+
+func TestHotspot(t *testing.T) {
+	rng := xrand.New(5)
+	p := Hotspot(50, 3, rng)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	dests := map[int]bool{}
+	for _, f := range p.Flows {
+		dests[f.Dst] = true
+	}
+	if len(dests) > 3 {
+		t.Fatalf("hotspot used %d destinations, want <= 3", len(dests))
+	}
+	mustPanicT(t, func() { Hotspot(10, 0, rng) })
+	mustPanicT(t, func() { Hotspot(10, 10, rng) })
+}
+
+func TestPatternByName(t *testing.T) {
+	rng := xrand.New(7)
+	for _, name := range []string{
+		"permutation", "shift", "random", "all-to-all",
+		"bit-complement", "transpose", "tornado", "hotspot",
+	} {
+		p, err := ByName(name, 30, 4, rng)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(p.Flows) == 0 {
+			t.Fatalf("%s: no flows", name)
+		}
+	}
+	if _, err := ByName("mystery", 10, 1, rng); err == nil {
+		t.Fatal("unknown pattern accepted")
+	}
+}
+
+func mustPanicT(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}
