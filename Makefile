@@ -1,0 +1,22 @@
+# Pre-PR gate (documented in docs/ARCHITECTURE.md): formatting, vet,
+# race-detector runs of the concurrency-heavy packages, full build.
+.PHONY: check build test bench fmt
+
+check: fmt
+	go vet ./...
+	go test -race ./internal/telemetry/... ./internal/par/...
+	go build ./...
+
+# gofmt -l prints offending files; fail if it prints anything.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+bench:
+	go test -bench=. -benchmem ./...

@@ -11,6 +11,12 @@
 // jfapp can also emit the synthetic DUMPI-style traces it simulates:
 //
 //	jfapp -dump-traces dir/ -topo medium
+//
+// With -telemetry it runs one instrumented replay of a single stencil and
+// exports per-link counters, path-choice counters and injection-stall
+// counters (see docs/TELEMETRY.md):
+//
+//	jfapp -telemetry out/ -selector rEDKSP -stencils 2DNNdiag -topo small
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 	"repro/internal/dumpi"
 	"repro/internal/exp"
 	"repro/internal/jellyfish"
+	"repro/internal/ksp"
 	"repro/internal/traffic"
 )
 
@@ -41,6 +48,8 @@ func main() {
 		workers      = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 		csv          = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		dumpTraces   = flag.String("dump-traces", "", "write the synthetic DUMPI traces to this directory and exit")
+		telemetryDir = flag.String("telemetry", "", "run one instrumented replay (first of -stencils, default 2DNN) and write telemetry files to this directory")
+		selector     = flag.String("selector", "rEDKSP", "path selector for -telemetry: KSP, rKSP, EDKSP or rEDKSP")
 	)
 	flag.Parse()
 
@@ -91,6 +100,36 @@ func main() {
 			cfg.Stencils = append(cfg.Stencils, kind)
 		}
 	}
+
+	if *telemetryDir != "" {
+		alg, err := ksp.ByName(*selector)
+		if err != nil {
+			fatal(err)
+		}
+		kind := traffic.Stencil2DNN
+		if len(cfg.Stencils) > 0 {
+			kind = cfg.Stencils[0]
+		}
+		res, col, manifest, err := exp.AppTelemetryRun(exp.AppTelemetryConfig{
+			Params:       params,
+			Selector:     alg,
+			Mechanism:    mech,
+			Stencil:      kind,
+			Mapping:      *mapping,
+			BytesPerRank: *bytesPerRank,
+		}, exp.Scale{K: *k, Seed: *seed, Workers: *workers})
+		if err != nil {
+			fatal(err)
+		}
+		if err := col.Export(*telemetryDir, manifest); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%v %s/%s %s mapping %s: %.2f ms, %d packets\n",
+			params, alg, mech, *mapping, kind, res.Seconds*1e3, res.Packets)
+		fmt.Println("wrote", *telemetryDir)
+		return
+	}
+
 	res, err := exp.AppCommTimes(cfg, exp.Scale{
 		TopoSamples:    *topoSamples,
 		PatternSamples: *mapSamples,

@@ -8,6 +8,13 @@
 //
 // Useful flags: -topos small,medium -k 8 -topo-samples 1 -pairs 20000
 // (pair sampling for the large topology) -csv.
+//
+// With -telemetry it instead runs one instrumented cycle-level simulation
+// and exports per-link utilization, queue depths and the latency
+// histogram (see docs/TELEMETRY.md for the file schema):
+//
+//	jfnet -telemetry out/ -selector rEDKSP -mechanism ksp-adaptive \
+//	      -pattern shift -rate 0.7 -topos small
 package main
 
 import (
@@ -17,6 +24,7 @@ import (
 	"strings"
 
 	"repro/internal/exp"
+	"repro/internal/flitsim"
 	"repro/internal/jellyfish"
 	"repro/internal/ksp"
 	"repro/internal/stats"
@@ -32,8 +40,21 @@ func main() {
 		seed        = flag.Uint64("seed", 1, "experiment seed")
 		workers     = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 		csv         = flag.Bool("csv", false, "emit CSV instead of aligned text")
+
+		telemetryDir = flag.String("telemetry", "", "run one instrumented flit-level simulation and write telemetry files to this directory")
+		selector     = flag.String("selector", "rEDKSP", "path selector for -telemetry: KSP, rKSP, EDKSP or rEDKSP")
+		mechanism    = flag.String("mechanism", "ksp-adaptive", "routing mechanism for -telemetry")
+		pattern      = flag.String("pattern", "permutation", "traffic pattern for -telemetry: permutation, shift or uniform")
+		rate         = flag.Float64("rate", 0.7, "offered load for -telemetry, in [0,1]")
 	)
 	flag.Parse()
+
+	if *telemetryDir != "" {
+		if err := runTelemetry(*telemetryDir, *topos, *selector, *mechanism, *pattern, *rate, *k, *seed, *workers); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	paramsList, err := parseTopos(*topos)
 	if err != nil {
@@ -84,6 +105,50 @@ func main() {
 			emit(res.TableIV())
 		}
 	}
+}
+
+// runTelemetry executes one instrumented cycle-level run and exports the
+// telemetry files. The first topology of -topos is used.
+func runTelemetry(dir, topos, selector, mechanism, pattern string, rate float64, k int, seed uint64, workers int) error {
+	params, err := jellyfish.ByName(strings.TrimSpace(strings.Split(topos, ",")[0]))
+	if err != nil {
+		return err
+	}
+	alg, err := ksp.ByName(selector)
+	if err != nil {
+		return err
+	}
+	mech, err := flitsim.MechanismByName(mechanism)
+	if err != nil {
+		return err
+	}
+	res, col, manifest, err := exp.FlitTelemetryRun(exp.FlitTelemetryConfig{
+		Params:    params,
+		Selector:  alg,
+		Mechanism: mech,
+		Pattern:   pattern,
+		Rate:      rate,
+	}, exp.Scale{K: k, Seed: seed, Workers: workers})
+	if err != nil {
+		return err
+	}
+	if err := col.Export(dir, manifest); err != nil {
+		return err
+	}
+	sat := ""
+	if res.Saturated {
+		sat = " (saturated)"
+	}
+	fmt.Printf("%v %s/%s %s load %.2f: avg latency %.1f cycles, delivered rate %.3f%s\n",
+		params, alg, mech.Name(), pattern, rate, res.AvgLatency, res.DeliveredRate, sat)
+	link, util := col.HottestLink("net")
+	if link >= 0 {
+		li := col.Links()[link]
+		fmt.Printf("hottest link: %d->%d at %.1f%% utilization, peak queue %d\n",
+			li.Src, li.Dst, util*100, col.QueuePeak.Get(link))
+	}
+	fmt.Println("wrote", dir)
+	return nil
 }
 
 func totalFallbacks(r *exp.PathPropsResult) int {

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/jellyfish"
+	"repro/internal/telemetry"
 	"repro/internal/traffic"
 	"repro/internal/xrand"
 )
@@ -102,6 +103,11 @@ type Config struct {
 	Iterations int
 	// ComputeGap is the idle-cycle gap between iterations.
 	ComputeGap int64
+	// Telemetry, when non-nil, receives per-link counters, per-candidate
+	// path-choice counters and per-terminal injection-stall counters
+	// during the run (Run initializes the collector's link layout). A nil
+	// Telemetry costs nothing.
+	Telemetry *telemetry.Collector
 }
 
 // Result reports one replay.
@@ -235,6 +241,28 @@ func Run(cfg Config) (Result, error) {
 		cfg.MaxCycles = 100*iters*(maxPer+int64(numVC*20)+1000) + iters*cfg.ComputeGap
 	}
 
+	tel := cfg.Telemetry
+	if tel != nil {
+		// Link rows: network links, ejection links, then pseudo rows for
+		// the terminals' injection points (which carry only stall and
+		// forward counters — injection here has no physical queue).
+		links := make([]telemetry.LinkInfo, numNet+2*numTerm)
+		for id := int32(0); int(id) < numNet; id++ {
+			u, v := g.LinkEndpoints(id)
+			links[id] = telemetry.LinkInfo{Kind: telemetry.KindNet, Src: int(u), Dst: int(v)}
+		}
+		for t := 0; t < numTerm; t++ {
+			sw := int(cfg.Topo.SwitchOf(t))
+			links[numNet+t] = telemetry.LinkInfo{Kind: telemetry.KindEject, Src: sw, Dst: t}
+			links[numNet+numTerm+t] = telemetry.LinkInfo{Kind: telemetry.KindInject, Src: t, Dst: sw}
+		}
+		tel.Init(telemetry.Config{
+			Links:       links,
+			QueueCap:    int64(cfg.BufDepth) * int64(numVC),
+			PathChoices: 32,
+		})
+	}
+
 	rng := xrand.New(cfg.Seed)
 	queues := make([][]fifo, numNet+numTerm) // network links then ejection links
 	for i := range queues {
@@ -291,27 +319,30 @@ func Run(cfg Config) (Result, error) {
 		}
 		return int(occ[g.LinkID(p[0], p[1])]) * h
 	}
-	choose := func(srcSw, dstSw graph.NodeID) graph.Path {
+	// choose returns the selected path and its candidate index (-1 for
+	// same-switch traffic, which has no candidate set).
+	choose := func(srcSw, dstSw graph.NodeID) (graph.Path, int) {
 		if srcSw == dstSw {
-			return graph.Path{srcSw}
+			return graph.Path{srcSw}, -1
 		}
 		ps := cfg.Paths.Paths(srcSw, dstSw)
 		if len(ps) == 0 {
 			panic(fmt.Sprintf("appsim: no path %d->%d", srcSw, dstSw))
 		}
 		if len(ps) == 1 {
-			return ps[0]
+			return ps[0], 0
 		}
 		switch cfg.Mechanism {
 		case MechRandom:
-			return ps[rng.IntN(len(ps))]
+			i := rng.IntN(len(ps))
+			return ps[i], i
 		case MechKSPAdaptive:
 			i, j := rng.TwoDistinct(len(ps))
 			a, b := ps[i], ps[j]
 			if cost(b) < cost(a) {
-				return b
+				return b, j
 			}
-			return a
+			return a, i
 		}
 		panic(fmt.Sprintf("appsim: unknown mechanism %v", cfg.Mechanism))
 	}
@@ -367,6 +398,9 @@ func Run(cfg Config) (Result, error) {
 					}
 					q.pop()
 					uncommit(link, vc)
+					if tel != nil {
+						tel.CountForward(link)
+					}
 					if h := pkts[id].path.Hops(); h > res.MaxHops {
 						res.MaxHops = h
 					}
@@ -400,11 +434,17 @@ func Run(cfg Config) (Result, error) {
 					nextVC = p.hop + 1
 				}
 				if !space(nextLink, nextVC) {
+					if tel != nil {
+						tel.CountStall(link)
+					}
 					continue
 				}
 				q.pop()
 				uncommit(link, vc)
 				commit(nextLink, nextVC)
+				if tel != nil {
+					tel.CountForward(link)
+				}
 				p.hop++
 				queues[nextLink][nextVC].push(id)
 				stamp(id, clock)
@@ -420,10 +460,11 @@ func Run(cfg Config) (Result, error) {
 				}
 				srcSw := cfg.Topo.SwitchOf(int(term))
 				start := int(rrFlow[term]) % len(flows)
+				sent := false
 				for i := 0; i < len(flows); i++ {
 					fi := (start + i) % len(flows)
 					f := &flows[fi]
-					path := choose(srcSw, f.dstSw)
+					path, choiceIdx := choose(srcSw, f.dstSw)
 					var link, vc int32
 					if path.Hops() == 0 {
 						link, vc = ejBase+f.dstTerm, 0
@@ -438,6 +479,13 @@ func Run(cfg Config) (Result, error) {
 					commit(link, vc)
 					queues[link][vc].push(id)
 					stamp(id, clock)
+					if tel != nil {
+						tel.CountForward(int32(numNet + numTerm + int(term)))
+						if choiceIdx >= 0 {
+							tel.CountChoice(choiceIdx)
+						}
+					}
+					sent = true
 					f.left--
 					if f.left == 0 {
 						flows[fi] = flows[len(flows)-1]
@@ -445,6 +493,11 @@ func Run(cfg Config) (Result, error) {
 					}
 					rrFlow[term] = int32(fi + 1)
 					break
+				}
+				if tel != nil && !sent {
+					// Every live flow was blocked at its first link: the
+					// terminal stalled this cycle.
+					tel.CountStall(int32(numNet + numTerm + int(term)))
 				}
 			}
 			// Compact the active terminal list occasionally.
@@ -456,10 +509,19 @@ func Run(cfg Config) (Result, error) {
 					}
 				}
 				activeTerms = live
+				if tel != nil {
+					tel.Snapshot(clock)
+				}
+			}
+			if tel != nil {
+				tel.SampleQueues(occ)
 			}
 			clock++
 		}
 		res.Packets += delivered
+	}
+	if tel != nil {
+		tel.Snapshot(clock)
 	}
 
 	res.Cycles = clock

@@ -1,0 +1,95 @@
+package appsim
+
+import (
+	"testing"
+
+	"repro/internal/ksp"
+	"repro/internal/telemetry"
+	"repro/internal/traffic"
+)
+
+// TestTelemetryReconciles checks that the application simulator's
+// telemetry reconciles with its Result: ejection-link forwards equal the
+// delivered packet count, injection-side forwards equal it too (the
+// workload drains completely), and path-choice counts cover every
+// multi-candidate packet.
+func TestTelemetryReconciles(t *testing.T) {
+	topo := jelly(t, 8, 6, 4, 1)
+	nt := topo.NumTerminals()
+	var flows []traffic.SizedFlow
+	for s := 0; s < nt; s++ {
+		flows = append(flows, traffic.SizedFlow{Src: s, Dst: (s + 3) % nt, Bytes: 30 * 1500})
+	}
+	col := telemetry.NewCollector()
+	res, err := Run(Config{
+		Topo:      topo,
+		Paths:     pdb(topo, ksp.REDKSP, 4),
+		Mechanism: MechKSPAdaptive,
+		Flows:     flows,
+		Seed:      5,
+		Telemetry: col,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var ejected, injected int64
+	for i, li := range col.Links() {
+		switch li.Kind {
+		case telemetry.KindEject:
+			ejected += col.Forwarded.Get(i)
+		case telemetry.KindInject:
+			injected += col.Forwarded.Get(i)
+		}
+	}
+	if ejected != res.Packets {
+		t.Fatalf("ejection-link flits = %d, Result.Packets = %d", ejected, res.Packets)
+	}
+	if injected != res.Packets {
+		t.Fatalf("injection forwards = %d, Result.Packets = %d (workload must drain)", injected, res.Packets)
+	}
+	// Every packet whose switch pair had multiple candidates recorded a
+	// choice; same-switch traffic records none. Here every flow crosses
+	// switches, so counts must equal the packet total.
+	if got := col.PathChoice.Total(); got != res.Packets {
+		t.Fatalf("path choices = %d, want %d", got, res.Packets)
+	}
+	if col.Cycles() != res.Cycles {
+		t.Fatalf("sampled cycles = %d, Result.Cycles = %d", col.Cycles(), res.Cycles)
+	}
+	// The app simulator tracks no per-packet latency.
+	if col.Latency != nil {
+		t.Fatal("latency histogram unexpectedly enabled")
+	}
+}
+
+// TestTelemetryOffIdentical checks the instrumented run is behaviorally
+// identical to the plain one.
+func TestTelemetryOffIdentical(t *testing.T) {
+	topo := jelly(t, 8, 6, 4, 2)
+	nt := topo.NumTerminals()
+	var flows []traffic.SizedFlow
+	for s := 0; s < nt; s++ {
+		flows = append(flows, traffic.SizedFlow{Src: s, Dst: (s*7 + 1) % nt, Bytes: 20 * 1500})
+	}
+	base := Config{
+		Topo:      topo,
+		Paths:     pdb(topo, ksp.RKSP, 4),
+		Mechanism: MechKSPAdaptive,
+		Flows:     flows,
+		Seed:      9,
+	}
+	plain, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withTel := base
+	withTel.Telemetry = telemetry.NewCollector()
+	instrumented, err := Run(withTel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Cycles != instrumented.Cycles || plain.Packets != instrumented.Packets {
+		t.Fatalf("telemetry perturbed the run: %+v vs %+v", plain, instrumented)
+	}
+}

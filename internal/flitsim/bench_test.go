@@ -1,0 +1,45 @@
+package flitsim
+
+import (
+	"testing"
+
+	"repro/internal/jellyfish"
+	"repro/internal/ksp"
+	"repro/internal/paths"
+	"repro/internal/telemetry"
+	"repro/internal/traffic"
+	"repro/internal/xrand"
+)
+
+// benchFlit measures one full measurement-protocol run on a small RRG,
+// with or without a telemetry collector attached. Comparing the two
+// guards the acceptance criterion that the nil-telemetry path costs
+// nothing measurable:
+//
+//	go test ./internal/flitsim -bench BenchmarkFlit -benchmem
+func benchFlit(b *testing.B, instrumented bool) {
+	topo, err := jellyfish.New(jellyfish.Params{N: 18, X: 12, Y: 8}, xrand.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	pdb := paths.NewDB(topo.G, ksp.Config{Alg: ksp.REDKSP, K: 4}, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := Config{
+			Topo:          topo,
+			Paths:         pdb,
+			Mechanism:     KSPAdaptive(),
+			Traffic:       traffic.Uniform{N: topo.NumTerminals()},
+			InjectionRate: 0.5,
+			Seed:          uint64(i) + 1,
+		}
+		if instrumented {
+			cfg.Telemetry = telemetry.NewCollector()
+		}
+		New(cfg).Run()
+	}
+}
+
+func BenchmarkFlit(b *testing.B)          { benchFlit(b, false) }
+func BenchmarkFlitTelemetry(b *testing.B) { benchFlit(b, true) }

@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/jellyfish"
+	"repro/internal/telemetry"
 	"repro/internal/traffic"
 	"repro/internal/xrand"
 )
@@ -80,6 +81,13 @@ type Config struct {
 	// SatLatency is the per-sample average latency above which the network
 	// counts as saturated (default 500 cycles).
 	SatLatency float64
+	// Telemetry, when non-nil, receives per-link counters, queue-depth
+	// samples, a latency histogram and per-sample window snapshots during
+	// the run (the Sim initializes the collector's link layout). A nil
+	// Telemetry costs nothing: every hook sits behind a nil check and the
+	// simulation allocates no instrumentation state.
+	Telemetry *telemetry.Collector
+
 	// SaturationLatencyOnly restricts saturation detection to the paper's
 	// latency threshold. By default a run also counts as saturated when
 	// accepted throughput falls below 90% of offered load, which catches
@@ -180,6 +188,7 @@ type Sim struct {
 	pkts  []packet
 	free  int32 // packet freelist head (-1 none)
 	clock int64
+	tel   *telemetry.Collector // nil when telemetry is off
 
 	injected, delivered, deliveredMeas int64
 	latSumMeas, hopSumMeas             int64
@@ -284,8 +293,29 @@ func New(cfg Config) *Sim {
 	s.latHist = make([]int64, int(cfg.SatLatency)*4+1)
 	s.srcQueue = make([]fifo, s.numTerm)
 	s.mech = cfg.Mechanism.newState(s)
+	if cfg.Telemetry != nil {
+		s.tel = cfg.Telemetry
+		links := make([]telemetry.LinkInfo, nLinks)
+		for id := int32(0); int(id) < s.numNet; id++ {
+			u, v := s.g.LinkEndpoints(id)
+			links[id] = telemetry.LinkInfo{Kind: telemetry.KindNet, Src: int(u), Dst: int(v)}
+		}
+		for term := 0; term < s.numTerm; term++ {
+			sw := int(s.topo.SwitchOf(term))
+			links[s.injLink(int32(term))] = telemetry.LinkInfo{Kind: telemetry.KindInject, Src: term, Dst: sw}
+			links[s.ejLink(int32(term))] = telemetry.LinkInfo{Kind: telemetry.KindEject, Src: sw, Dst: term}
+		}
+		s.tel.Init(telemetry.Config{
+			Links:      links,
+			LatencyCap: int64(cfg.SatLatency) * 4,
+			QueueCap:   int64(cfg.BufDepth) * int64(s.numVC),
+		})
+	}
 	return s
 }
+
+// Telemetry returns the attached collector (nil when telemetry is off).
+func (s *Sim) Telemetry() *telemetry.Collector { return s.tel }
 
 func (s *Sim) injLink(term int32) int32 { return int32(s.numNet) + term }
 func (s *Sim) ejLink(term int32) int32  { return int32(s.numNet+s.numTerm) + term }
@@ -349,6 +379,12 @@ func (s *Sim) step(measuring bool, sampleLatSum *int64, sampleCount *int64) {
 				s.maxHops = h
 			}
 			s.delivered++
+			if s.tel != nil {
+				s.tel.CountForward(link)
+				if measuring {
+					s.tel.ObserveLatency(lat)
+				}
+			}
 			if measuring {
 				s.deliveredMeas++
 				s.latSumMeas += lat
@@ -375,7 +411,15 @@ func (s *Sim) step(measuring bool, sampleLatSum *int64, sampleCount *int64) {
 		id := s.queues[link][vc].peek()
 		p := &s.pkts[id]
 		nextLink, nextVC := s.nextHopOf(p)
-		if s.spaceIn(nextLink, nextVC) {
+		hasSpace := s.spaceIn(nextLink, nextVC)
+		if s.tel != nil {
+			if hasSpace {
+				s.tel.CountForward(link)
+			} else {
+				s.tel.CountStall(link)
+			}
+		}
+		if hasSpace {
 			s.queues[link][vc].pop()
 			s.occ[link]--
 			s.occVC[int(link)*s.numVC+int(vc)]--
@@ -411,9 +455,15 @@ func (s *Sim) step(measuring bool, sampleLatSum *int64, sampleCount *int64) {
 		}
 		nextLink, nextVC := s.firstLinkOf(p)
 		if !s.spaceIn(nextLink, nextVC) {
+			if s.tel != nil {
+				s.tel.CountStall(s.injLink(term))
+			}
 			continue
 		}
 		q.pop()
+		if s.tel != nil {
+			s.tel.CountForward(s.injLink(term))
+		}
 		s.occ[nextLink]++
 		s.occVC[int(nextLink)*s.numVC+int(nextVC)]++
 		s.inflight.schedule(s.clock+int64(s.cfg.TerminalLatency),
@@ -437,6 +487,9 @@ func (s *Sim) step(measuring bool, sampleLatSum *int64, sampleCount *int64) {
 		}
 	}
 
+	if s.tel != nil {
+		s.tel.SampleQueues(s.occ)
+	}
 	s.clock++
 }
 

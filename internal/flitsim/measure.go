@@ -13,6 +13,11 @@ func (s *Sim) Run() Result {
 	for i := 0; i < s.cfg.WarmupCycles; i++ {
 		s.step(false, &dummyLat, &dummyCnt)
 	}
+	if s.tel != nil {
+		// Mark the warmup/measurement boundary so windows.csv separates
+		// warmup traffic from measured traffic.
+		s.tel.Snapshot(s.clock)
+	}
 	res := Result{SampleLatencies: make([]float64, 0, s.cfg.NumSamples)}
 	offered := s.cfg.InjectionRate > 0 && s.numTerm > 0
 	injectedBefore := s.injected
@@ -20,6 +25,9 @@ func (s *Sim) Run() Result {
 		var latSum, count int64
 		for i := 0; i < s.cfg.SampleCycles; i++ {
 			s.step(true, &latSum, &count)
+		}
+		if s.tel != nil {
+			s.tel.Snapshot(s.clock)
 		}
 		var avg float64
 		if count > 0 {

@@ -1,0 +1,221 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Manifest records the exact configuration of an instrumented run, so
+// every exported file can be traced back to the topology parameters,
+// selector, mechanism and seed that produced it.
+type Manifest struct {
+	// Schema versions the export layout.
+	Schema string `json:"schema"`
+	// Tool is the producing binary (jfnet, jfapp, ...).
+	Tool string `json:"tool"`
+	// Topology is the human-readable form, e.g. "RRG(36,24,16)".
+	Topology string `json:"topology"`
+	N        int    `json:"n"`
+	X        int    `json:"x"`
+	Y        int    `json:"y"`
+	// Selector is the path-selection scheme (KSP, rKSP, EDKSP, rEDKSP).
+	Selector string `json:"selector"`
+	// Mechanism is the per-packet routing mechanism.
+	Mechanism string `json:"mechanism"`
+	// Pattern is the traffic pattern (flit runs) and Mapping/Stencil the
+	// workload (app runs); unused fields stay empty.
+	Pattern string `json:"pattern,omitempty"`
+	Mapping string `json:"mapping,omitempty"`
+	Stencil string `json:"stencil,omitempty"`
+	// K is the candidate paths per switch pair.
+	K int `json:"k"`
+	// Seed drove all randomness in the run.
+	Seed uint64 `json:"seed"`
+	// InjectionRate is the offered load (flit runs only).
+	InjectionRate float64 `json:"injection_rate,omitempty"`
+	// Cycles is the run length in sampled cycles.
+	Cycles int64 `json:"cycles"`
+	// Files lists the sibling files this manifest describes.
+	Files []string `json:"files"`
+}
+
+// SchemaVersion is the current export layout version.
+const SchemaVersion = "telemetry/v1"
+
+// Export writes the collector's contents to dir (created if needed):
+// manifest.json, links.csv, windows.csv, and — when the corresponding
+// instrument is enabled — latency_hist.json, queue_hist.json and
+// choices.csv. The manifest's Schema, Cycles and Files fields are filled
+// in here.
+func (c *Collector) Export(dir string, m Manifest) error {
+	if !c.Ready() {
+		return fmt.Errorf("telemetry: export of uninitialized Collector")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	m.Schema = SchemaVersion
+	m.Cycles = c.Cycles()
+	m.Files = []string{"links.csv", "windows.csv"}
+	if c.Latency != nil {
+		m.Files = append(m.Files, "latency_hist.json")
+	}
+	if c.Queue != nil {
+		m.Files = append(m.Files, "queue_hist.json")
+	}
+	if c.PathChoice != nil {
+		m.Files = append(m.Files, "choices.csv")
+	}
+
+	write := func(name string, fn func(io.Writer) error) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := write("links.csv", c.WriteLinksCSV); err != nil {
+		return err
+	}
+	if err := write("windows.csv", c.WriteWindowsCSV); err != nil {
+		return err
+	}
+	if c.Latency != nil {
+		if err := write("latency_hist.json", func(w io.Writer) error {
+			return WriteHistogramJSON(w, c.Latency)
+		}); err != nil {
+			return err
+		}
+	}
+	if c.Queue != nil {
+		if err := write("queue_hist.json", func(w io.Writer) error {
+			return WriteHistogramJSON(w, c.Queue)
+		}); err != nil {
+			return err
+		}
+	}
+	if c.PathChoice != nil {
+		if err := write("choices.csv", c.WriteChoicesCSV); err != nil {
+			return err
+		}
+	}
+	return write("manifest.json", func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(m)
+	})
+}
+
+// WriteLinksCSV writes one row per instrumented link:
+//
+//	link,kind,src,dst,flits,stalls,util,avg_queue,peak_queue
+//
+// flits is the count forwarded, stalls the blocked cycles, util the
+// fraction of sampled cycles spent forwarding, avg_queue/peak_queue the
+// mean and maximum committed occupancy over sampled cycles.
+func (c *Collector) WriteLinksCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "link,kind,src,dst,flits,stalls,util,avg_queue,peak_queue"); err != nil {
+		return err
+	}
+	for i, li := range c.links {
+		_, err := fmt.Fprintf(w, "%d,%s,%d,%d,%d,%d,%.6f,%.4f,%d\n",
+			i, li.Kind, li.Src, li.Dst,
+			c.Forwarded.Get(i), c.Stalled.Get(i),
+			c.Utilization(i), c.AvgQueue(i), c.QueuePeak.Get(i))
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteWindowsCSV writes one row per snapshot window with per-window
+// deltas:
+//
+//	cycle,flits,delivered,mean_latency
+//
+// flits and delivered are the counts within the window (since the
+// previous snapshot); mean_latency is the mean latency of packets
+// delivered within it (empty when none were).
+func (c *Collector) WriteWindowsCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "cycle,flits,delivered,mean_latency"); err != nil {
+		return err
+	}
+	var prev Window
+	for _, win := range c.Windows() {
+		flits := win.Flits - prev.Flits
+		delivered := win.Delivered - prev.Delivered
+		mean := ""
+		if delivered > 0 {
+			mean = fmt.Sprintf("%.2f", float64(win.LatencySum-prev.LatencySum)/float64(delivered))
+		}
+		if _, err := fmt.Fprintf(w, "%d,%d,%d,%s\n", win.Cycle, flits, delivered, mean); err != nil {
+			return err
+		}
+		prev = win
+	}
+	return nil
+}
+
+// WriteChoicesCSV writes the candidate-index choice counters:
+//
+//	candidate,chosen
+//
+// The last row aggregates any indices clamped into it.
+func (c *Collector) WriteChoicesCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "candidate,chosen"); err != nil {
+		return err
+	}
+	for i := 0; i < c.PathChoice.Len(); i++ {
+		if _, err := fmt.Fprintf(w, "%d,%d\n", i, c.PathChoice.Get(i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// histogramJSON is the on-disk form of a Histogram. Counts holds the
+// in-range buckets with trailing zeros trimmed; bucket i covers
+// [i*bucket_width, (i+1)*bucket_width) and observations at or above cap
+// are in overflow.
+type histogramJSON struct {
+	BucketWidth int64   `json:"bucket_width"`
+	NumBuckets  int     `json:"num_buckets"`
+	Cap         int64   `json:"cap"`
+	Count       int64   `json:"count"`
+	Overflow    int64   `json:"overflow"`
+	Mean        float64 `json:"mean"`
+	P50         float64 `json:"p50"`
+	P90         float64 `json:"p90"`
+	P99         float64 `json:"p99"`
+	Counts      []int64 `json:"counts"`
+}
+
+// WriteHistogramJSON serializes a histogram with its percentiles.
+func WriteHistogramJSON(w io.Writer, h *Histogram) error {
+	counts := h.Counts()
+	for len(counts) > 0 && counts[len(counts)-1] == 0 {
+		counts = counts[:len(counts)-1]
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(histogramJSON{
+		BucketWidth: h.Width(),
+		NumBuckets:  h.NumBuckets(),
+		Cap:         h.Cap(),
+		Count:       h.Count(),
+		Overflow:    h.Overflow(),
+		Mean:        h.Mean(),
+		P50:         h.Percentile(0.50),
+		P90:         h.Percentile(0.90),
+		P99:         h.Percentile(0.99),
+		Counts:      counts,
+	})
+}

@@ -1,0 +1,139 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// goldenCollector builds a small deterministic collector: two network
+// links, one injection and one ejection link, a handful of packets.
+func goldenCollector() *Collector {
+	c := NewCollector()
+	c.Init(Config{
+		Links: []LinkInfo{
+			{Kind: KindNet, Src: 0, Dst: 1},
+			{Kind: KindNet, Src: 1, Dst: 0},
+			{Kind: KindInject, Src: 0, Dst: 0},
+			{Kind: KindEject, Src: 1, Dst: 1},
+		},
+		LatencyCap:  16,
+		QueueCap:    4,
+		PathChoices: 2,
+	})
+	c.CountForward(2) // inject
+	c.CountForward(0) // hop
+	c.CountForward(3) // eject
+	c.CountForward(0)
+	c.CountStall(1)
+	c.ObserveLatency(3)
+	c.ObserveLatency(5)
+	c.ObserveLatency(99) // overflow
+	c.CountChoice(0)
+	c.CountChoice(1)
+	c.CountChoice(1)
+	c.SampleQueues([]int32{2, 0, 1, 0})
+	c.SampleQueues([]int32{1, 1, 0, 0})
+	c.Snapshot(1)
+	c.Snapshot(2)
+	return c
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s mismatch:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestExportGolden(t *testing.T) {
+	c := goldenCollector()
+	var buf bytes.Buffer
+	if err := c.WriteLinksCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "links_golden.csv", buf.Bytes())
+
+	buf.Reset()
+	if err := WriteHistogramJSON(&buf, c.Latency); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "latency_hist_golden.json", buf.Bytes())
+
+	buf.Reset()
+	if err := c.WriteWindowsCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "windows_golden.csv", buf.Bytes())
+
+	buf.Reset()
+	if err := c.WriteChoicesCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "choices_golden.csv", buf.Bytes())
+}
+
+func TestExportDir(t *testing.T) {
+	dir := t.TempDir()
+	c := goldenCollector()
+	m := Manifest{
+		Tool: "test", Topology: "RRG(2,3,1)", N: 2, X: 3, Y: 1,
+		Selector: "rEDKSP", Mechanism: "KSP-adaptive", Pattern: "uniform",
+		K: 8, Seed: 1, InjectionRate: 0.5,
+	}
+	if err := c.Export(dir, m); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Manifest
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != SchemaVersion {
+		t.Fatalf("schema = %q, want %q", got.Schema, SchemaVersion)
+	}
+	if got.Cycles != c.Cycles() {
+		t.Fatalf("cycles = %d, want %d", got.Cycles, c.Cycles())
+	}
+	for _, name := range got.Files {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Fatalf("manifest lists %s but: %v", name, err)
+		}
+	}
+	// The disabled-instrument path: a latency-less collector (app-sim
+	// style) must not list or write latency_hist.json.
+	c2 := NewCollector()
+	c2.Init(Config{Links: []LinkInfo{{Kind: KindNet}}})
+	dir2 := t.TempDir()
+	if err := c2.Export(dir2, Manifest{Tool: "test"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir2, "latency_hist.json")); !os.IsNotExist(err) {
+		t.Fatalf("latency_hist.json written for disabled latency instrument (err=%v)", err)
+	}
+	// Uninitialized collectors refuse to export.
+	if err := NewCollector().Export(t.TempDir(), Manifest{}); err == nil {
+		t.Fatal("export of uninitialized collector succeeded")
+	}
+}

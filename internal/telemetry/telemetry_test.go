@@ -1,0 +1,129 @@
+package telemetry
+
+import (
+	"testing"
+
+	"repro/internal/par"
+)
+
+func TestCounterVecBasics(t *testing.T) {
+	c := NewCounterVec(3)
+	c.Inc(0)
+	c.Add(1, 5)
+	c.SetMax(2, 7)
+	c.SetMax(2, 3) // lower: no effect
+	if c.Get(0) != 1 || c.Get(1) != 5 || c.Get(2) != 7 {
+		t.Fatalf("counters = %d,%d,%d", c.Get(0), c.Get(1), c.Get(2))
+	}
+	if c.Total() != 13 {
+		t.Fatalf("total = %d, want 13", c.Total())
+	}
+}
+
+// TestCounterVecConcurrent hammers counters from par.For workers; with
+// -race this also proves the counters are data-race free.
+func TestCounterVecConcurrent(t *testing.T) {
+	const iters = 4096
+	adds := NewCounterVec(4)
+	maxes := NewCounterVec(4)
+	par.For(iters, 0, func(i int) {
+		adds.Inc(i % 4)
+		maxes.SetMax(i%4, int64(i))
+	})
+	if adds.Total() != iters {
+		t.Fatalf("total = %d, want %d", adds.Total(), iters)
+	}
+	// The per-index maximum of 0..4095 striped by i%4 is 4092+idx.
+	for idx := 0; idx < 4; idx++ {
+		if got := maxes.Get(idx); got != int64(4092+idx) {
+			t.Fatalf("max[%d] = %d, want %d", idx, got, 4092+idx)
+		}
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(1, 64)
+	const iters = 10000
+	par.For(iters, 0, func(i int) {
+		h.Observe(int64(i % 80)) // some overflow the 64-bucket range
+	})
+	if h.Count() != iters {
+		t.Fatalf("count = %d, want %d", h.Count(), iters)
+	}
+	var want int64
+	for i := 0; i < iters; i++ {
+		want += int64(i % 80)
+	}
+	if h.Sum() != want {
+		t.Fatalf("sum = %d, want %d", h.Sum(), want)
+	}
+}
+
+func TestCollectorLifecycle(t *testing.T) {
+	c := NewCollector()
+	if c.Ready() {
+		t.Fatal("fresh collector reports Ready")
+	}
+	c.Init(Config{
+		Links: []LinkInfo{
+			{Kind: KindNet, Src: 0, Dst: 1},
+			{Kind: KindNet, Src: 1, Dst: 0},
+			{Kind: KindInject, Src: 0, Dst: 0},
+		},
+		LatencyCap:  100,
+		QueueCap:    8,
+		PathChoices: 4,
+	})
+	if !c.Ready() {
+		t.Fatal("initialized collector not Ready")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Init did not panic")
+		}
+	}()
+
+	c.CountForward(0)
+	c.CountForward(0)
+	c.CountStall(1)
+	c.ObserveLatency(42)
+	c.CountChoice(1)
+	c.CountChoice(9) // clamps into last counter
+	c.SampleQueues([]int32{3, 0, 1})
+	c.SampleQueues([]int32{5, 2, 0})
+	c.Snapshot(2)
+
+	if got := c.Forwarded.Get(0); got != 2 {
+		t.Fatalf("forwarded[0] = %d, want 2", got)
+	}
+	if got := c.Stalled.Get(1); got != 1 {
+		t.Fatalf("stalled[1] = %d, want 1", got)
+	}
+	if got := c.Cycles(); got != 2 {
+		t.Fatalf("cycles = %d, want 2", got)
+	}
+	if got := c.AvgQueue(0); got != 4 {
+		t.Fatalf("avgQueue[0] = %v, want 4", got)
+	}
+	if got := c.QueuePeak.Get(0); got != 5 {
+		t.Fatalf("peak[0] = %d, want 5", got)
+	}
+	if got := c.Utilization(0); got != 1 {
+		t.Fatalf("util[0] = %v, want 1", got)
+	}
+	if got := c.PathChoice.Get(3); got != 1 {
+		t.Fatalf("clamped choice not in last counter: %d", got)
+	}
+	if link, _ := c.HottestLink(KindNet); link != 0 {
+		t.Fatalf("hottest = %d, want 0", link)
+	}
+	if link, _ := c.HottestLink("nope"); link != -1 {
+		t.Fatalf("hottest of unknown kind = %d, want -1", link)
+	}
+	ws := c.Windows()
+	if len(ws) != 1 || ws[0].Cycle != 2 || ws[0].Delivered != 1 || ws[0].Flits != 2 {
+		t.Fatalf("windows = %+v", ws)
+	}
+
+	c.Init(Config{}) // must panic (checked by the deferred recover)
+}
