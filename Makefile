@@ -1,16 +1,35 @@
 # Pre-PR gate (documented in docs/ARCHITECTURE.md): formatting, vet,
-# race-detector runs of the concurrency-heavy packages, full build.
-.PHONY: check build test bench fmt
+# optional linters, race-detector runs of the concurrency-heavy packages
+# and the fault-injection paths, full build.
+.PHONY: check build test bench fmt lint race-faults
 
-check: fmt
+check: fmt lint
 	go vet ./...
 	go test -race ./internal/telemetry/... ./internal/par/...
+	$(MAKE) race-faults
 	go build ./...
 
 # gofmt -l prints offending files; fail if it prints anything.
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# staticcheck and govulncheck run only when installed — the gate must
+# stay usable on minimal containers without network access.
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping"; fi
+
+# Fault injection touches shared simulator state from par.For workers;
+# run every fault test under the race detector as a smoke gate.
+race-faults:
+	go test -race -run Fault ./...
 
 build:
 	go build ./...

@@ -39,6 +39,12 @@ func main() {
 	)
 	flag.Parse()
 
+	if *k < 1 {
+		fatal(fmt.Errorf("-k must be at least 1, got %d", *k))
+	}
+	if *pairs < 0 {
+		fatal(fmt.Errorf("-pairs must be non-negative, got %d", *pairs))
+	}
 	params, err := jellyfish.ByName(*topoName)
 	if err != nil {
 		fatal(err)

@@ -50,9 +50,17 @@ func main() {
 		dumpTraces   = flag.String("dump-traces", "", "write the synthetic DUMPI traces to this directory and exit")
 		telemetryDir = flag.String("telemetry", "", "run one instrumented replay (first of -stencils, default 2DNN) and write telemetry files to this directory")
 		selector     = flag.String("selector", "rEDKSP", "path selector for -telemetry: KSP, rKSP, EDKSP or rEDKSP")
+		faultSpec    = flag.String("faults", "", "fault schedule: none, random:<n>@<cycle>[,...] or a schedule file (see docs/FAULTS.md)")
+		faultPolicy  = flag.String("fault-policy", "reroute", "fault policy: reroute, drop, reroute-norepair or drop-norepair")
 	)
 	flag.Parse()
 
+	if *k < 1 {
+		fatal(fmt.Errorf("-k must be at least 1, got %d", *k))
+	}
+	if *bytesPerRank <= 0 {
+		fatal(fmt.Errorf("-bytes-per-rank must be positive, got %d", *bytesPerRank))
+	}
 	params, err := jellyfish.ByName(*topoName)
 	if err != nil {
 		fatal(err)
@@ -90,6 +98,8 @@ func main() {
 		Mapping:      *mapping,
 		BytesPerRank: *bytesPerRank,
 		Mechanism:    mech,
+		FaultSpec:    *faultSpec,
+		FaultPolicy:  *faultPolicy,
 	}
 	if *stencils != "" {
 		for _, name := range strings.Split(*stencils, ",") {
@@ -117,6 +127,8 @@ func main() {
 			Stencil:      kind,
 			Mapping:      *mapping,
 			BytesPerRank: *bytesPerRank,
+			FaultSpec:    *faultSpec,
+			FaultPolicy:  *faultPolicy,
 		}, exp.Scale{K: *k, Seed: *seed, Workers: *workers})
 		if err != nil {
 			fatal(err)
@@ -126,6 +138,10 @@ func main() {
 		}
 		fmt.Printf("%v %s/%s %s mapping %s: %.2f ms, %d packets\n",
 			params, alg, mech, *mapping, kind, res.Seconds*1e3, res.Packets)
+		if res.FaultEvents > 0 {
+			fmt.Printf("faults: %d events, %d dropped, %d rerouted, %d path repairs\n",
+				res.FaultEvents, res.Dropped, res.Rerouted, res.PathRepairs)
+		}
 		fmt.Println("wrote", *telemetryDir)
 		return
 	}

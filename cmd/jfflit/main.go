@@ -45,6 +45,15 @@ func main() {
 	)
 	flag.Parse()
 
+	if *k < 1 {
+		fatal(fmt.Errorf("-k must be at least 1, got %d", *k))
+	}
+	if *rateStep <= 0 {
+		fatal(fmt.Errorf("-rate-step must be positive, got %g", *rateStep))
+	}
+	if *rateStart <= 0 || *rateStart > *rateStop || *rateStop > 1 {
+		fatal(fmt.Errorf("offered-load range (%g, %g) must satisfy 0 < start <= stop <= 1", *rateStart, *rateStop))
+	}
 	params, err := jellyfish.ByName(*topoName)
 	if err != nil {
 		fatal(err)

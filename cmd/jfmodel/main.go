@@ -39,6 +39,12 @@ func main() {
 	)
 	flag.Parse()
 
+	if *k < 1 {
+		fatal(fmt.Errorf("-k must be at least 1, got %d", *k))
+	}
+	if *randomX < 1 {
+		fatal(fmt.Errorf("-random-x must be at least 1, got %d", *randomX))
+	}
 	params, err := jellyfish.ByName(*topoName)
 	if err != nil {
 		fatal(err)

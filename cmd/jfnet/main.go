@@ -15,15 +15,25 @@
 //
 //	jfnet -telemetry out/ -selector rEDKSP -mechanism ksp-adaptive \
 //	      -pattern shift -rate 0.7 -topos small
+//
+// Link failures can be injected into telemetry runs with -faults (a
+// "random:<n>@<cycle>" spec or a schedule file, see docs/FAULTS.md) and
+// -fault-policy. -fault-sweep runs the dynamic resilience experiment
+// instead: delivered throughput versus failed-link count for every
+// selector x mechanism combination:
+//
+//	jfnet -fault-sweep 0,1,2,4,8 -topos small -rate 0.3
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/internal/exp"
+	"repro/internal/faults"
 	"repro/internal/flitsim"
 	"repro/internal/jellyfish"
 	"repro/internal/ksp"
@@ -46,11 +56,25 @@ func main() {
 		mechanism    = flag.String("mechanism", "ksp-adaptive", "routing mechanism for -telemetry")
 		pattern      = flag.String("pattern", "permutation", "traffic pattern for -telemetry: permutation, shift or uniform")
 		rate         = flag.Float64("rate", 0.7, "offered load for -telemetry, in [0,1]")
+
+		faultSpec   = flag.String("faults", "", "fault schedule for -telemetry: none, random:<n>@<cycle>[,...] or a schedule file")
+		faultPolicy = flag.String("fault-policy", "reroute", "fault policy: reroute, drop, reroute-norepair or drop-norepair")
+		faultSweep  = flag.String("fault-sweep", "", "comma-separated failed-link counts: run delivered-throughput vs. failures for all selectors and mechanisms")
 	)
 	flag.Parse()
 
+	if *k < 1 {
+		fatal(fmt.Errorf("-k must be at least 1, got %d", *k))
+	}
+
+	if *faultSweep != "" {
+		if err := runFaultSweep(*faultSweep, *topos, *pattern, *faultPolicy, *rate, *k, *topoSamples, *seed, *workers, *csv); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *telemetryDir != "" {
-		if err := runTelemetry(*telemetryDir, *topos, *selector, *mechanism, *pattern, *rate, *k, *seed, *workers); err != nil {
+		if err := runTelemetry(*telemetryDir, *topos, *selector, *mechanism, *pattern, *faultSpec, *faultPolicy, *rate, *k, *seed, *workers); err != nil {
 			fatal(err)
 		}
 		return
@@ -109,7 +133,7 @@ func main() {
 
 // runTelemetry executes one instrumented cycle-level run and exports the
 // telemetry files. The first topology of -topos is used.
-func runTelemetry(dir, topos, selector, mechanism, pattern string, rate float64, k int, seed uint64, workers int) error {
+func runTelemetry(dir, topos, selector, mechanism, pattern, faultSpec, faultPolicy string, rate float64, k int, seed uint64, workers int) error {
 	params, err := jellyfish.ByName(strings.TrimSpace(strings.Split(topos, ",")[0]))
 	if err != nil {
 		return err
@@ -123,11 +147,13 @@ func runTelemetry(dir, topos, selector, mechanism, pattern string, rate float64,
 		return err
 	}
 	res, col, manifest, err := exp.FlitTelemetryRun(exp.FlitTelemetryConfig{
-		Params:    params,
-		Selector:  alg,
-		Mechanism: mech,
-		Pattern:   pattern,
-		Rate:      rate,
+		Params:      params,
+		Selector:    alg,
+		Mechanism:   mech,
+		Pattern:     pattern,
+		Rate:        rate,
+		FaultSpec:   faultSpec,
+		FaultPolicy: faultPolicy,
 	}, exp.Scale{K: k, Seed: seed, Workers: workers})
 	if err != nil {
 		return err
@@ -141,6 +167,10 @@ func runTelemetry(dir, topos, selector, mechanism, pattern string, rate float64,
 	}
 	fmt.Printf("%v %s/%s %s load %.2f: avg latency %.1f cycles, delivered rate %.3f%s\n",
 		params, alg, mech.Name(), pattern, rate, res.AvgLatency, res.DeliveredRate, sat)
+	if res.FaultEvents > 0 {
+		fmt.Printf("faults: %d events, %d dropped, %d rerouted, %d path repairs\n",
+			res.FaultEvents, res.Dropped, res.Rerouted, res.PathRepairs)
+	}
 	link, util := col.HottestLink("net")
 	if link >= 0 {
 		li := col.Links()[link]
@@ -148,6 +178,47 @@ func runTelemetry(dir, topos, selector, mechanism, pattern string, rate float64,
 			li.Src, li.Dst, util*100, col.QueuePeak.Get(link))
 	}
 	fmt.Println("wrote", dir)
+	return nil
+}
+
+// runFaultSweep runs the dynamic fault-injection experiment on the first
+// topology of -topos and prints one table per routing mechanism.
+func runFaultSweep(counts, topos, pattern, faultPolicy string, rate float64, k, topoSamples int, seed uint64, workers int, csv bool) error {
+	params, err := jellyfish.ByName(strings.TrimSpace(strings.Split(topos, ",")[0]))
+	if err != nil {
+		return err
+	}
+	policy, err := faults.PolicyByName(faultPolicy)
+	if err != nil {
+		return err
+	}
+	var failed []int
+	for _, s := range strings.Split(counts, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 0 {
+			return fmt.Errorf("bad failed-link count %q", s)
+		}
+		failed = append(failed, n)
+	}
+	res, err := exp.FaultRun(exp.FaultRunConfig{
+		Params:        params,
+		Pattern:       pattern,
+		FailedLinks:   failed,
+		InjectionRate: rate,
+		Policy:        policy,
+	}, exp.Scale{TopoSamples: topoSamples, K: k, Seed: seed, Workers: workers})
+	if err != nil {
+		return err
+	}
+	title := fmt.Sprintf("Delivered throughput vs. failed links on %v (%s, load %.2f, policy %s)",
+		params, pattern, rate, policy)
+	for _, t := range res.Tables(title) {
+		if csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Println(t.String())
+		}
+	}
 	return nil
 }
 

@@ -37,6 +37,9 @@ func main() {
 	)
 	flag.Parse()
 
+	if *pairs < 0 {
+		fatal(fmt.Errorf("-pairs must be non-negative, got %d", *pairs))
+	}
 	var topo *jellyfish.Topology
 	var err error
 	switch {

@@ -16,8 +16,10 @@ package appsim
 import (
 	"fmt"
 
+	"repro/internal/faults"
 	"repro/internal/graph"
 	"repro/internal/jellyfish"
+	"repro/internal/ksp"
 	"repro/internal/telemetry"
 	"repro/internal/traffic"
 	"repro/internal/xrand"
@@ -108,6 +110,66 @@ type Config struct {
 	// during the run (Run initializes the collector's link layout). A nil
 	// Telemetry costs nothing.
 	Telemetry *telemetry.Collector
+	// Faults optionally schedules link failures and restorations at
+	// absolute cycles. A nil or empty schedule attaches no fault machinery
+	// at all, so such runs are bit-identical to runs without the field.
+	Faults *faults.Schedule
+	// FaultPolicy controls what happens to packets caught by a failure and
+	// whether dead path sets are recomputed. The zero value (reroute,
+	// repair) is the graceful default.
+	FaultPolicy faults.Policy
+}
+
+// Validate checks the configuration without running it. Run calls it
+// first, so callers only need it to fail fast.
+func (cfg Config) Validate() error {
+	if cfg.Topo == nil || cfg.Paths == nil {
+		return fmt.Errorf("appsim: Topo and Paths are required")
+	}
+	if cfg.PacketBytes < 0 {
+		return fmt.Errorf("appsim: PacketBytes %d is negative", cfg.PacketBytes)
+	}
+	if cfg.LinkBandwidth < 0 {
+		return fmt.Errorf("appsim: LinkBandwidth %g is negative", cfg.LinkBandwidth)
+	}
+	if cfg.BufDepth < 0 {
+		return fmt.Errorf("appsim: BufDepth %d is negative", cfg.BufDepth)
+	}
+	if cfg.NumVCs < 0 {
+		return fmt.Errorf("appsim: NumVCs %d is negative", cfg.NumVCs)
+	}
+	if cfg.MaxCycles < 0 {
+		return fmt.Errorf("appsim: MaxCycles %d is negative", cfg.MaxCycles)
+	}
+	if cfg.Iterations < 0 {
+		return fmt.Errorf("appsim: Iterations %d is negative", cfg.Iterations)
+	}
+	if cfg.ComputeGap < 0 {
+		return fmt.Errorf("appsim: ComputeGap %d is negative", cfg.ComputeGap)
+	}
+	switch cfg.Mechanism {
+	case MechKSPAdaptive, MechRandom:
+	default:
+		return fmt.Errorf("appsim: unknown mechanism %v", cfg.Mechanism)
+	}
+	return nil
+}
+
+// repairSource is satisfied by path providers (paths.DB) that can expose
+// the selector configuration and seed needed to recompute their path sets
+// on a failed-edge-filtered graph. Providers that do not implement it get
+// no repair.
+type repairSource interface {
+	Config() ksp.Config
+	Seed() uint64
+}
+
+func repairConfigOf(p PathProvider) *faults.RepairConfig {
+	src, ok := p.(repairSource)
+	if !ok {
+		return nil
+	}
+	return &faults.RepairConfig{KSP: src.Config(), Seed: src.Seed()}
 }
 
 // Result reports one replay.
@@ -125,6 +187,18 @@ type Result struct {
 	// nothing: self flows or zero bytes). Only populated when
 	// Config.TrackFlows is set.
 	FlowCompletions []int64
+	// Dropped counts packets discarded because of link failures (the drop
+	// policy, or no surviving path). Dropped packets count toward flow
+	// completion, so a lossy run still drains: Packets + Dropped equals the
+	// injected total.
+	Dropped int64
+	// Rerouted counts packets re-pathed around a failed link.
+	Rerouted int64
+	// PathRepairs counts pairs whose path set was recomputed on the
+	// failed-edge-filtered graph.
+	PathRepairs int64
+	// FaultEvents counts schedule events (downs and ups) that fired.
+	FaultEvents int64
 }
 
 // FlowCompletionSeconds converts a completion cycle to seconds under the
@@ -161,8 +235,8 @@ type pkt struct {
 // Run replays the workload and returns the completion time. An error is
 // returned for invalid configuration or when MaxCycles is exceeded.
 func Run(cfg Config) (Result, error) {
-	if cfg.Topo == nil || cfg.Paths == nil {
-		return Result{}, fmt.Errorf("appsim: Topo and Paths are required")
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
 	}
 	if cfg.PacketBytes == 0 {
 		cfg.PacketBytes = DefaultPacketBytes
@@ -263,6 +337,21 @@ func Run(cfg Config) (Result, error) {
 		})
 	}
 
+	// Fault machinery is only constructed for a non-empty schedule, so
+	// fault-free runs take the exact pre-fault code paths (bit-identical
+	// results, zero overhead beyond a nil check).
+	var fst *faults.State
+	if cfg.Faults.Len() > 0 {
+		st, err := faults.NewState(g, cfg.Faults, cfg.FaultPolicy, repairConfigOf(cfg.Paths), numVC)
+		if err != nil {
+			return Result{}, err
+		}
+		if tel != nil {
+			st.SetTelemetry(tel)
+		}
+		fst = st
+	}
+
 	rng := xrand.New(cfg.Seed)
 	queues := make([][]fifo, numNet+numTerm) // network links then ejection links
 	for i := range queues {
@@ -320,14 +409,40 @@ func Run(cfg Config) (Result, error) {
 		return int(occ[g.LinkID(p[0], p[1])]) * h
 	}
 	// choose returns the selected path and its candidate index (-1 for
-	// same-switch traffic, which has no candidate set).
+	// same-switch traffic, which has no candidate set). A nil path means no
+	// candidate survives the current failures (or the pair has no paths at
+	// all); the caller decides between erroring and dropping.
 	choose := func(srcSw, dstSw graph.NodeID) (graph.Path, int) {
 		if srcSw == dstSw {
 			return graph.Path{srcSw}, -1
 		}
 		ps := cfg.Paths.Paths(srcSw, dstSw)
+		if fst != nil && fst.Active() {
+			live, mask := fst.Candidates(srcSw, dstSw, ps)
+			if mask == 0 {
+				return nil, -1
+			}
+			n := faults.PopCount(mask)
+			if n == 1 {
+				i := faults.FirstSet(mask)
+				return live[i], i
+			}
+			switch cfg.Mechanism {
+			case MechRandom:
+				i := faults.NthSet(mask, rng.IntN(n))
+				return live[i], i
+			case MechKSPAdaptive:
+				i, j := rng.TwoDistinct(n)
+				ii, jj := faults.NthSet(mask, i), faults.NthSet(mask, j)
+				a, b := live[ii], live[jj]
+				if cost(b) < cost(a) {
+					return b, jj
+				}
+				return a, ii
+			}
+		}
 		if len(ps) == 0 {
-			panic(fmt.Sprintf("appsim: no path %d->%d", srcSw, dstSw))
+			return nil, -1
 		}
 		if len(ps) == 1 {
 			return ps[0], 0
@@ -359,12 +474,115 @@ func Run(cfg Config) (Result, error) {
 		movedAt[id] = clock
 	}
 
+	var delivered int64
+	var clock int64
+	var phaseDropped int64 // dropped this phase; counts toward the drain target
+	var rerouteQ []int32   // packets awaiting space on their replacement path
+
+	// dropFlowPacket retires one packet of flow fi without delivering it:
+	// the flow's completion accounting advances so the run still drains.
+	dropFlowPacket := func(fi int32) {
+		remaining[fi]--
+		if remaining[fi] == 0 && res.FlowCompletions != nil {
+			res.FlowCompletions[fi] = clock
+		}
+		phaseDropped++
+		res.Dropped++
+		if tel != nil {
+			tel.CountFaultDrop()
+		}
+	}
+	dropPkt := func(id int32) {
+		dropFlowPacket(pkts[id].flowIdx)
+		release(id)
+	}
+	// handleFault disposes of a packet caught by a link failure while
+	// standing at switch cur: drop it, or choose a replacement path from
+	// cur (through the same mechanism as injection, so reroutes see the
+	// same congestion signals) and park it on the reroute queue.
+	handleFault := func(id int32, cur graph.NodeID) {
+		if fst.Policy().Drop {
+			dropPkt(id)
+			return
+		}
+		p := &pkts[id]
+		dstSw := cfg.Topo.SwitchOf(int(p.dstTerm))
+		var np graph.Path
+		if cur == dstSw {
+			np = graph.Path{cur}
+		} else {
+			np, _ = choose(cur, dstSw)
+		}
+		if np == nil || np.Hops() > numVC {
+			dropPkt(id)
+			return
+		}
+		p.path = np
+		p.hop = 0
+		rerouteQ = append(rerouteQ, id)
+		res.Rerouted++
+		if tel != nil {
+			tel.CountFaultReroute()
+		}
+	}
+	// flushDown reacts to freshly applied fault events: every packet queued
+	// on either direction of a failed edge is pulled out and handled at its
+	// current switch. Packets whose path crosses a failed edge further on
+	// are caught lazily when they reach it (the forwarding loop).
+	flushDown := func(evs []faults.Event) {
+		for _, e := range evs {
+			if e.Up {
+				continue
+			}
+			for _, link := range [2]int32{g.LinkID(e.U, e.V), g.LinkID(e.V, e.U)} {
+				for vc := int32(0); int(vc) < numVC; vc++ {
+					q := &queues[link][vc]
+					for q.len() > 0 {
+						id := q.pop()
+						uncommit(link, vc)
+						p := &pkts[id]
+						handleFault(id, p.path[p.hop])
+					}
+				}
+			}
+		}
+	}
+	// processReroutes pushes waiting rerouted packets into the first queue
+	// of their replacement path; packets whose replacement died in a later
+	// event choose again, and packets that do not fit wait another cycle.
+	processReroutes := func() {
+		kept := rerouteQ[:0]
+		for _, id := range rerouteQ {
+			p := &pkts[id]
+			if p.path.Hops() > 0 && fst.LinkDown(g.LinkID(p.path[0], p.path[1])) {
+				np, _ := choose(p.path[0], cfg.Topo.SwitchOf(int(p.dstTerm)))
+				if np == nil || np.Hops() > numVC {
+					dropPkt(id)
+					continue
+				}
+				p.path = np
+			}
+			var link, vc int32
+			if p.path.Hops() == 0 {
+				link, vc = ejBase+p.dstTerm, 0
+			} else {
+				link, vc = g.LinkID(p.path[0], p.path[1]), 0
+			}
+			if !space(link, vc) {
+				kept = append(kept, id)
+				continue
+			}
+			commit(link, vc)
+			queues[link][vc].push(id)
+			stamp(id, clock)
+		}
+		rerouteQ = kept
+	}
+
 	iterations := cfg.Iterations
 	if iterations < 1 {
 		iterations = 1
 	}
-	var delivered int64
-	var clock int64
 	var activeTerms []int32
 	for iter := 0; iter < iterations; iter++ {
 		if iter > 0 {
@@ -374,6 +592,7 @@ func Run(cfg Config) (Result, error) {
 			clock += cfg.ComputeGap
 		}
 		delivered = 0
+		phaseDropped = 0
 		activeTerms = activeTerms[:0]
 		for t := 0; t < numTerm; t++ {
 			if len(srcFlows[t]) > 0 {
@@ -381,10 +600,17 @@ func Run(cfg Config) (Result, error) {
 			}
 		}
 
-		for delivered < totalPkts {
+		for delivered+phaseDropped < totalPkts {
 			if clock >= cfg.MaxCycles {
 				return res, fmt.Errorf("appsim: exceeded %d cycles with %d/%d packets delivered",
 					cfg.MaxCycles, delivered, totalPkts)
+			}
+
+			// 0. Apply due fault events.
+			if fst != nil {
+				if evs := fst.Advance(clock); evs != nil {
+					flushDown(evs)
+				}
 			}
 
 			// 1. Ejection links drain one packet per cycle.
@@ -416,6 +642,9 @@ func Run(cfg Config) (Result, error) {
 
 			// 2. Network links forward.
 			for link := int32(0); link < int32(numNet); link++ {
+				if fst != nil && fst.LinkDown(link) {
+					continue
+				}
 				vc := pickVC(link)
 				if vc < 0 {
 					continue
@@ -432,6 +661,14 @@ func Run(cfg Config) (Result, error) {
 				} else {
 					nextLink = g.LinkID(p.path[p.hop+1], p.path[p.hop+2])
 					nextVC = p.hop + 1
+				}
+				if fst != nil && fst.LinkDown(nextLink) {
+					// The packet's next hop died while it was queued here:
+					// pull it and reroute/drop from its current switch.
+					q.pop()
+					uncommit(link, vc)
+					handleFault(id, p.path[p.hop])
+					continue
 				}
 				if !space(nextLink, nextVC) {
 					if tel != nil {
@@ -450,6 +687,11 @@ func Run(cfg Config) (Result, error) {
 				stamp(id, clock)
 			}
 
+			// 2b. Re-inject packets rerouted around failures.
+			if len(rerouteQ) > 0 {
+				processReroutes()
+			}
+
 			// 3. Injection: each terminal sends one packet per cycle,
 			// round-robin over its live flows (MPI sends progress
 			// concurrently).
@@ -465,6 +707,23 @@ func Run(cfg Config) (Result, error) {
 					fi := (start + i) % len(flows)
 					f := &flows[fi]
 					path, choiceIdx := choose(srcSw, f.dstSw)
+					if path == nil {
+						if fst == nil {
+							return res, fmt.Errorf("appsim: no path %d->%d", srcSw, f.dstSw)
+						}
+						// No surviving path for this flow: drop one packet
+						// per attempt so the run drains deterministically
+						// instead of spinning to MaxCycles.
+						dropFlowPacket(f.flowIdx)
+						sent = true
+						f.left--
+						if f.left == 0 {
+							flows[fi] = flows[len(flows)-1]
+							srcFlows[term] = flows[:len(flows)-1]
+						}
+						rrFlow[term] = int32(fi + 1)
+						break
+					}
 					var link, vc int32
 					if path.Hops() == 0 {
 						link, vc = ejBase+f.dstTerm, 0
@@ -526,6 +785,11 @@ func Run(cfg Config) (Result, error) {
 
 	res.Cycles = clock
 	res.Seconds = float64(clock) * float64(cfg.PacketBytes) / cfg.LinkBandwidth
+	if fst != nil {
+		downs, ups, repairs := fst.Counters()
+		res.FaultEvents = downs + ups
+		res.PathRepairs = repairs
+	}
 	return res, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/appsim"
+	"repro/internal/faults"
 	"repro/internal/jellyfish"
 	"repro/internal/ksp"
 	"repro/internal/paths"
@@ -28,6 +29,12 @@ type AppConfig struct {
 	// Selectors to compare (default rEDKSP, KSP, rKSP — the paper's
 	// column order).
 	Selectors []ksp.Algorithm
+	// FaultSpec optionally injects the same link-failure schedule into
+	// every replay (see faults.ParseSpec); random specs are drawn once per
+	// topology instance, so all selectors face identical failures.
+	FaultSpec string
+	// FaultPolicy names the fault policy ("" = reroute with repair).
+	FaultPolicy string
 }
 
 // AppResult holds the communication times: Seconds[stencil][selector].
@@ -57,6 +64,10 @@ func AppCommTimes(cfg AppConfig, sc Scale) (*AppResult, error) {
 	if cfg.Mapping != "linear" && cfg.Mapping != "random" {
 		return nil, fmt.Errorf("exp: unknown mapping %q (want linear or random)", cfg.Mapping)
 	}
+	policy, err := faults.PolicyByName(cfg.FaultPolicy)
+	if err != nil {
+		return nil, err
+	}
 	res := &AppResult{Config: cfg}
 	for _, k := range cfg.Stencils {
 		res.Stencils = append(res.Stencils, k.String())
@@ -82,6 +93,10 @@ func AppCommTimes(cfg AppConfig, sc Scale) (*AppResult, error) {
 			return nil, err
 		}
 		nTerms := topo.NumTerminals()
+		sched, err := faults.ParseSpec(cfg.FaultSpec, topo.G, xrand.Mix64(sc.Seed^uint64(ti)))
+		if err != nil {
+			return nil, err
+		}
 		dbs := make([]*paths.DB, len(cfg.Selectors))
 		for ai, alg := range cfg.Selectors {
 			dbs[ai] = paths.NewDB(topo.G, ksp.Config{Alg: alg, K: sc.K}, sc.pathSeed(ti, alg))
@@ -100,11 +115,13 @@ func AppCommTimes(cfg AppConfig, sc Scale) (*AppResult, error) {
 				flows := w.Apply(mapping)
 				for ai := range cfg.Selectors {
 					r, err := appsim.Run(appsim.Config{
-						Topo:      topo,
-						Paths:     dbs[ai],
-						Mechanism: cfg.Mechanism,
-						Flows:     flows,
-						Seed:      xrand.Mix64(sc.Seed ^ uint64(ti)<<40 ^ uint64(si)<<24 ^ uint64(mi)<<8 ^ uint64(ai)),
+						Topo:        topo,
+						Paths:       dbs[ai],
+						Mechanism:   cfg.Mechanism,
+						Flows:       flows,
+						Seed:        xrand.Mix64(sc.Seed ^ uint64(ti)<<40 ^ uint64(si)<<24 ^ uint64(mi)<<8 ^ uint64(ai)),
+						Faults:      sched,
+						FaultPolicy: policy,
 					})
 					if err != nil {
 						return nil, fmt.Errorf("exp: %s/%s: %w", kind, cfg.Selectors[ai], err)

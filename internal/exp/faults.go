@@ -3,6 +3,8 @@ package exp
 import (
 	"fmt"
 
+	"repro/internal/faults"
+	"repro/internal/flitsim"
 	"repro/internal/graph"
 	"repro/internal/jellyfish"
 	"repro/internal/ksp"
@@ -153,6 +155,222 @@ func (r *FaultResilienceResult) Table(title string) *stats.Table {
 		t.AddRow(row...)
 	}
 	return t
+}
+
+// FaultRunConfig parameterizes the dynamic fault-injection experiment: a
+// flit-level run in which a random set of links fails mid-measurement and
+// the routing mechanisms degrade (or not) live.
+type FaultRunConfig struct {
+	Params jellyfish.Params
+	// Pattern is "permutation", "shift" or "uniform" (default "uniform").
+	Pattern string
+	// FailedLinks is the sweep of failure counts (default {0, 1, 2, 4, 8});
+	// 0 is the fault-free baseline.
+	FailedLinks []int
+	// FaultAt is the cycle the failures strike (default 1000: after the
+	// simulator's default warmup plus one measurement window).
+	FaultAt int64
+	// InjectionRate is the offered load (default 0.3).
+	InjectionRate float64
+	// Policy is the fault policy applied to caught packets (zero value:
+	// reroute with path repair).
+	Policy faults.Policy
+	// NumVCs overrides the VC count (0 = derive from the topology).
+	NumVCs int
+}
+
+func (c FaultRunConfig) withDefaults() FaultRunConfig {
+	if c.Pattern == "" {
+		c.Pattern = "uniform"
+	}
+	if len(c.FailedLinks) == 0 {
+		c.FailedLinks = []int{0, 1, 2, 4, 8}
+	}
+	if c.FaultAt == 0 {
+		c.FaultAt = 1000
+	}
+	if c.InjectionRate == 0 {
+		c.InjectionRate = 0.3
+	}
+	return c
+}
+
+// FaultRunResult holds delivered throughput versus failed-link count for
+// every (selector, mechanism) combination.
+type FaultRunResult struct {
+	Config      FaultRunConfig
+	Selectors   []string
+	Mechanisms  []string
+	FailedLinks []int
+	// Delivered[f][selector][mechanism] is the mean delivered throughput
+	// (fraction of terminal capacity over the measurement phase) at
+	// FailedLinks[f] failures, averaged over topology and pattern samples.
+	Delivered [][][]float64
+	// Dropped[f][selector][mechanism] is the mean packets dropped per run.
+	Dropped [][][]float64
+}
+
+// FaultRun sweeps failure counts over all path selectors and routing
+// mechanisms. The failure set at a given (topology sample, pattern sample,
+// failure count) is shared by every selector and mechanism, so the columns
+// are directly comparable.
+func FaultRun(cfg FaultRunConfig, sc Scale) (*FaultRunResult, error) {
+	cfg = cfg.withDefaults()
+	sc = sc.withDefaults()
+	mechs := flitsim.Mechanisms()
+	res := &FaultRunResult{
+		Config:      cfg,
+		Selectors:   SelectorNames(false),
+		FailedLinks: cfg.FailedLinks,
+	}
+	for _, m := range mechs {
+		res.Mechanisms = append(res.Mechanisms, m.Name())
+	}
+
+	// Shared per-topology state: the topology, its VC count, one path DB
+	// per selector, and one fault schedule per (pattern sample, failure
+	// count).
+	topos := make([]*jellyfish.Topology, sc.TopoSamples)
+	numVCs := make([]int, sc.TopoSamples)
+	dbs := make([][]*paths.DB, sc.TopoSamples)
+	scheds := make([][][]*faults.Schedule, sc.TopoSamples)
+	for ti := 0; ti < sc.TopoSamples; ti++ {
+		topo, err := sc.buildTopo(cfg.Params, ti)
+		if err != nil {
+			return nil, err
+		}
+		topos[ti] = topo
+		if cfg.NumVCs > 0 {
+			numVCs[ti] = cfg.NumVCs
+		} else {
+			m := graph.ComputeMetrics(topo.G, sc.Workers)
+			numVCs[ti] = 3*int(m.Diameter) + 2
+		}
+		dbs[ti] = make([]*paths.DB, len(ksp.Algorithms))
+		for ai, alg := range ksp.Algorithms {
+			dbs[ti][ai] = paths.NewDB(topo.G, ksp.Config{Alg: alg, K: sc.K}, sc.pathSeed(ti, alg))
+		}
+		scheds[ti] = make([][]*faults.Schedule, sc.PatternSamples)
+		for pi := 0; pi < sc.PatternSamples; pi++ {
+			scheds[ti][pi] = make([]*faults.Schedule, len(cfg.FailedLinks))
+			for fi, f := range cfg.FailedLinks {
+				if f > topo.G.NumEdges() {
+					return nil, fmt.Errorf("exp: cannot fail %d of %d links", f, topo.G.NumEdges())
+				}
+				sched, err := faults.Random(topo.G, f, cfg.FaultAt,
+					xrand.Mix64(sc.Seed^uint64(ti)<<40^uint64(pi)<<20^uint64(fi)))
+				if err != nil {
+					return nil, err
+				}
+				scheds[ti][pi][fi] = sched
+			}
+		}
+	}
+
+	type job struct {
+		ti, pi, fi, ai, mi int
+	}
+	var jobs []job
+	for ti := 0; ti < sc.TopoSamples; ti++ {
+		for pi := 0; pi < sc.PatternSamples; pi++ {
+			for fi := range cfg.FailedLinks {
+				for ai := range ksp.Algorithms {
+					for mi := range mechs {
+						jobs = append(jobs, job{ti, pi, fi, ai, mi})
+					}
+				}
+			}
+		}
+	}
+	delivered := make([]float64, len(jobs))
+	dropped := make([]float64, len(jobs))
+	errs := make([]error, len(jobs))
+	par.For(len(jobs), sc.Workers, func(i int) {
+		j := jobs[i]
+		topo := topos[j.ti]
+		sampler, err := samplerFor(cfg.Pattern, topo.NumTerminals(), sc.patternSeed(j.ti, j.pi))
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		sim, err := flitsim.NewSim(flitsim.Config{
+			Topo:          topo,
+			Paths:         dbs[j.ti][j.ai],
+			Mechanism:     mechs[j.mi],
+			Traffic:       sampler,
+			InjectionRate: cfg.InjectionRate,
+			NumVCs:        numVCs[j.ti],
+			Seed:          xrand.Mix64(sc.Seed ^ uint64(j.ti)<<32 ^ uint64(j.pi)<<16 ^ uint64(j.fi)),
+			Faults:        scheds[j.ti][j.pi][j.fi],
+			FaultPolicy:   cfg.Policy,
+		})
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		r := sim.Run()
+		delivered[i] = r.DeliveredRate
+		dropped[i] = float64(r.Dropped)
+	})
+	sums := make([][][]float64, len(cfg.FailedLinks))
+	drops := make([][][]float64, len(cfg.FailedLinks))
+	counts := make([][][]int, len(cfg.FailedLinks))
+	for fi := range cfg.FailedLinks {
+		sums[fi] = make([][]float64, len(ksp.Algorithms))
+		drops[fi] = make([][]float64, len(ksp.Algorithms))
+		counts[fi] = make([][]int, len(ksp.Algorithms))
+		for ai := range ksp.Algorithms {
+			sums[fi][ai] = make([]float64, len(mechs))
+			drops[fi][ai] = make([]float64, len(mechs))
+			counts[fi][ai] = make([]int, len(mechs))
+		}
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+		j := jobs[i]
+		sums[j.fi][j.ai][j.mi] += delivered[i]
+		drops[j.fi][j.ai][j.mi] += dropped[i]
+		counts[j.fi][j.ai][j.mi]++
+	}
+	res.Delivered = sums
+	res.Dropped = drops
+	for fi := range sums {
+		for ai := range sums[fi] {
+			for mi := range sums[fi][ai] {
+				if n := counts[fi][ai][mi]; n > 0 {
+					res.Delivered[fi][ai][mi] /= float64(n)
+					res.Dropped[fi][ai][mi] /= float64(n)
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// MechTable renders delivered throughput for one mechanism: one row per
+// failure count, one column per selector.
+func (r *FaultRunResult) MechTable(title string, mi int) *stats.Table {
+	headers := append([]string{"Failed links"}, r.Selectors...)
+	t := stats.NewTable(fmt.Sprintf("%s [%s]", title, r.Mechanisms[mi]), headers...)
+	for fi, f := range r.FailedLinks {
+		row := []string{fmt.Sprintf("%d", f)}
+		for ai := range r.Selectors {
+			row = append(row, fmt.Sprintf("%.3f", r.Delivered[fi][ai][mi]))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Tables renders one MechTable per mechanism.
+func (r *FaultRunResult) Tables(title string) []*stats.Table {
+	out := make([]*stats.Table, len(r.Mechanisms))
+	for mi := range r.Mechanisms {
+		out[mi] = r.MechTable(title, mi)
+	}
+	return out
 }
 
 // PathsTable renders the mean surviving path counts.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/appsim"
+	"repro/internal/faults"
 	"repro/internal/flitsim"
 	"repro/internal/graph"
 	"repro/internal/jellyfish"
@@ -31,6 +32,12 @@ type FlitTelemetryConfig struct {
 	Pattern string
 	// Rate is the offered load in [0, 1].
 	Rate float64
+	// FaultSpec optionally injects link failures: "", "none",
+	// "random:<n>@<cycle>[,...]" or a schedule file path (see
+	// faults.ParseSpec).
+	FaultSpec string
+	// FaultPolicy names the fault policy ("" = reroute with repair).
+	FaultPolicy string
 }
 
 // FlitTelemetryRun executes one cycle-level simulation with telemetry
@@ -55,10 +62,18 @@ func FlitTelemetryRun(cfg FlitTelemetryConfig, sc Scale) (flitsim.Result, *telem
 	if err != nil {
 		return zero, nil, telemetry.Manifest{}, err
 	}
+	sched, err := faults.ParseSpec(cfg.FaultSpec, topo.G, sc.Seed)
+	if err != nil {
+		return zero, nil, telemetry.Manifest{}, err
+	}
+	policy, err := faults.PolicyByName(cfg.FaultPolicy)
+	if err != nil {
+		return zero, nil, telemetry.Manifest{}, err
+	}
 	m := graph.ComputeMetrics(topo.G, sc.Workers)
 	db := paths.NewDB(topo.G, ksp.Config{Alg: cfg.Selector, K: sc.K}, sc.pathSeed(0, cfg.Selector))
 	col := telemetry.NewCollector()
-	sim := flitsim.New(flitsim.Config{
+	sim, err := flitsim.NewSim(flitsim.Config{
 		Topo:          topo,
 		Paths:         db,
 		Mechanism:     cfg.Mechanism,
@@ -67,7 +82,12 @@ func FlitTelemetryRun(cfg FlitTelemetryConfig, sc Scale) (flitsim.Result, *telem
 		NumVCs:        3*int(m.Diameter) + 2,
 		Seed:          xrand.Mix64(sc.Seed ^ 0x74656c),
 		Telemetry:     col,
+		Faults:        sched,
+		FaultPolicy:   policy,
 	})
+	if err != nil {
+		return zero, nil, telemetry.Manifest{}, err
+	}
 	res := sim.Run()
 	manifest := telemetry.Manifest{
 		Tool:          "jfnet",
@@ -99,6 +119,10 @@ type AppTelemetryConfig struct {
 	Mapping string
 	// BytesPerRank is the per-rank send volume (default 15 MB).
 	BytesPerRank int64
+	// FaultSpec optionally injects link failures (see faults.ParseSpec).
+	FaultSpec string
+	// FaultPolicy names the fault policy ("" = reroute with repair).
+	FaultPolicy string
 }
 
 // AppTelemetryRun replays one stencil workload with telemetry attached,
@@ -127,15 +151,25 @@ func AppTelemetryRun(cfg AppTelemetryConfig, sc Scale) (appsim.Result, *telemetr
 	w := traffic.Stencil(traffic.StencilConfig{
 		Kind: cfg.Stencil, Ranks: nTerms, TotalBytes: cfg.BytesPerRank,
 	})
+	sched, err := faults.ParseSpec(cfg.FaultSpec, topo.G, sc.Seed)
+	if err != nil {
+		return zero, nil, telemetry.Manifest{}, err
+	}
+	policy, err := faults.PolicyByName(cfg.FaultPolicy)
+	if err != nil {
+		return zero, nil, telemetry.Manifest{}, err
+	}
 	db := paths.NewDB(topo.G, ksp.Config{Alg: cfg.Selector, K: sc.K}, sc.pathSeed(0, cfg.Selector))
 	col := telemetry.NewCollector()
 	res, err := appsim.Run(appsim.Config{
-		Topo:      topo,
-		Paths:     db,
-		Mechanism: cfg.Mechanism,
-		Flows:     w.Apply(mapping),
-		Seed:      xrand.Mix64(sc.Seed ^ 0x617070),
-		Telemetry: col,
+		Topo:        topo,
+		Paths:       db,
+		Mechanism:   cfg.Mechanism,
+		Flows:       w.Apply(mapping),
+		Seed:        xrand.Mix64(sc.Seed ^ 0x617070),
+		Telemetry:   col,
+		Faults:      sched,
+		FaultPolicy: policy,
 	})
 	if err != nil {
 		return zero, nil, telemetry.Manifest{}, err

@@ -1,0 +1,382 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/jellyfish"
+	"repro/internal/ksp"
+	"repro/internal/telemetry"
+	"repro/internal/xrand"
+)
+
+// ring builds a cycle graph 0-1-...-(n-1)-0.
+func ring(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddEdge(graph.NodeID(i), graph.NodeID((i+1)%n))
+	}
+	return b.Graph()
+}
+
+func TestFaultScheduleSorting(t *testing.T) {
+	s, err := NewSchedule([]Event{
+		{At: 300, U: 0, V: 1},
+		{At: 100, U: 1, V: 2},
+		{At: 300, Up: true, U: 1, V: 2},
+		{At: 200, U: 2, V: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := s.Events()
+	wantAt := []int64{100, 200, 300, 300}
+	for i, e := range ev {
+		if e.At != wantAt[i] {
+			t.Fatalf("event %d at %d, want %d", i, e.At, wantAt[i])
+		}
+	}
+	// Stable: the two cycle-300 events keep their given order.
+	if ev[2].Up || !ev[3].Up {
+		t.Fatalf("same-cycle events reordered: %v, %v", ev[2], ev[3])
+	}
+}
+
+func TestFaultScheduleValidation(t *testing.T) {
+	for _, bad := range [][]Event{
+		{{At: -1, U: 0, V: 1}},
+		{{At: 0, U: 3, V: 3}},
+		{{At: 0, U: -2, V: 1}},
+	} {
+		if _, err := NewSchedule(bad); err == nil {
+			t.Fatalf("NewSchedule(%v) succeeded", bad)
+		}
+	}
+	var nilSched *Schedule
+	if nilSched.Len() != 0 || !nilSched.Empty() || nilSched.Events() != nil {
+		t.Fatal("nil schedule is not empty")
+	}
+}
+
+func TestFaultRandomDeterministic(t *testing.T) {
+	g := ring(16)
+	a, err := Random(g, 4, 1000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Random(g, 4, 1000, 42)
+	if a.Format() != b.Format() {
+		t.Fatalf("same seed, different schedules:\n%s\nvs\n%s", a.Format(), b.Format())
+	}
+	c, _ := Random(g, 4, 1000, 43)
+	if a.Format() == c.Format() {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	if a.Len() != 4 {
+		t.Fatalf("got %d events, want 4", a.Len())
+	}
+	seen := map[uint64]struct{}{}
+	for _, e := range a.Events() {
+		if !g.HasEdge(e.U, e.V) {
+			t.Fatalf("event %v on non-edge", e)
+		}
+		key := graph.UndirectedEdgeKey(e.U, e.V)
+		if _, dup := seen[key]; dup {
+			t.Fatalf("edge {%d,%d} failed twice", e.U, e.V)
+		}
+		seen[key] = struct{}{}
+	}
+	if _, err := Random(g, 17, 0, 1); err == nil {
+		t.Fatal("failing more links than exist succeeded")
+	}
+}
+
+func TestFaultTargeted(t *testing.T) {
+	col := telemetry.NewCollector()
+	col.Init(telemetry.Config{Links: []telemetry.LinkInfo{
+		{Kind: telemetry.KindNet, Src: 0, Dst: 1},
+		{Kind: telemetry.KindNet, Src: 1, Dst: 0},
+		{Kind: telemetry.KindNet, Src: 1, Dst: 2},
+		{Kind: telemetry.KindNet, Src: 2, Dst: 1},
+		{Kind: telemetry.KindInject, Src: 0, Dst: 0},
+	}})
+	// Edge {1,2} is hotter (5 flits on its hottest direction) than {0,1}
+	// (3 flits); the injection link must be ignored.
+	for i := 0; i < 3; i++ {
+		col.CountForward(1)
+	}
+	for i := 0; i < 5; i++ {
+		col.CountForward(3)
+	}
+	for i := 0; i < 9; i++ {
+		col.CountForward(4)
+	}
+	s, err := Targeted(col, 1, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := s.Events()
+	if len(ev) != 1 || ev[0].U != 1 || ev[0].V != 2 || ev[0].At != 500 {
+		t.Fatalf("Targeted picked %v, want down 500 1 2", ev)
+	}
+	if _, err := Targeted(telemetry.NewCollector(), 1, 0); err == nil {
+		t.Fatal("Targeted on uninitialized collector succeeded")
+	}
+}
+
+func TestFaultRoundTrip(t *testing.T) {
+	g := ring(8)
+	s, err := Random(g, 3, 250, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up, _ := NewSchedule(append(s.Events(), Event{At: 900, Up: true, U: s.Events()[0].U, V: s.Events()[0].V}))
+	text := up.Format()
+	back, err := ParseString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Format() != text {
+		t.Fatalf("round trip changed schedule:\n%s\nvs\n%s", text, back.Format())
+	}
+}
+
+func TestFaultParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"PATHS 1\n",
+		"FAULTS 1\ndown 5 0\n",
+		"FAULTS 1\nsideways 5 0 1\n",
+		"FAULTS 1\ndown x 0 1\n",
+		"FAULTS 1\ndown 5 x 1\n",
+		"FAULTS 1\ndown 5 0 x\n",
+		"FAULTS 1\ndown -5 0 1\n",
+		"FAULTS 1\ndown 5 0 0\n",
+	} {
+		if _, err := ParseString(bad); err == nil {
+			t.Fatalf("ParseString(%q) succeeded", bad)
+		}
+	}
+	// Comments and blank lines are fine.
+	s, err := ParseString("# header comment\n\nFAULTS 1\n# event\n  down 5 0 1  \n\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("got %d events, want 1", s.Len())
+	}
+}
+
+func TestFaultParseSpec(t *testing.T) {
+	g := ring(10)
+	for _, spec := range []string{"", "none"} {
+		s, err := ParseSpec(spec, g, 1)
+		if err != nil || !s.Empty() {
+			t.Fatalf("ParseSpec(%q) = %v, %v; want empty", spec, s, err)
+		}
+	}
+	s, err := ParseSpec("random:2@100,3@200", g, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 5 {
+		t.Fatalf("got %d events, want 5", s.Len())
+	}
+	again, _ := ParseSpec("random:2@100,3@200", g, 5)
+	if s.Format() != again.Format() {
+		t.Fatal("ParseSpec random form is not deterministic")
+	}
+	for _, bad := range []string{"random:x@100", "random:2@x", "random:2", "/nonexistent/file"} {
+		if _, err := ParseSpec(bad, g, 1); err == nil {
+			t.Fatalf("ParseSpec(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestFaultStateAdvance(t *testing.T) {
+	g := ring(6)
+	sched := MustSchedule([]Event{
+		{At: 10, U: 0, V: 1},
+		{At: 10, U: 2, V: 3},
+		{At: 50, Up: true, U: 0, V: 1},
+	})
+	st, err := NewState(g, sched, Policy{}, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Active() || st.NextEventAt() != 10 {
+		t.Fatal("state active before any event")
+	}
+	if got := st.Advance(9); got != nil {
+		t.Fatalf("Advance(9) fired %v", got)
+	}
+	fired := st.Advance(10)
+	if len(fired) != 2 || !st.Active() || st.DownCount() != 2 {
+		t.Fatalf("Advance(10): fired=%v down=%d", fired, st.DownCount())
+	}
+	if !st.LinkDown(g.LinkID(0, 1)) || !st.LinkDown(g.LinkID(1, 0)) {
+		t.Fatal("directed links of failed edge not down")
+	}
+	if !st.EdgeDown(3, 2) {
+		t.Fatal("edge {2,3} not down")
+	}
+	if st.LinkDown(g.LinkID(4, 5)) {
+		t.Fatal("healthy link reported down")
+	}
+	fired = st.Advance(100)
+	if len(fired) != 1 || st.DownCount() != 1 || st.EdgeDown(0, 1) {
+		t.Fatalf("up event not applied: fired=%v down=%d", fired, st.DownCount())
+	}
+	if st.Done() {
+		t.Fatal("Done() true while edge {2,3} is still down")
+	}
+	if st.NextEventAt() != -1 {
+		t.Fatal("events remain after the schedule drained")
+	}
+	downs, ups, _ := st.Counters()
+	if downs != 2 || ups != 1 {
+		t.Fatalf("counters = %d downs, %d ups", downs, ups)
+	}
+	// Events on non-edges are rejected at construction.
+	if _, err := NewState(g, MustSchedule([]Event{{U: 0, V: 3}}), Policy{}, nil, 0); err == nil {
+		t.Fatal("NewState accepted event on non-edge")
+	}
+}
+
+func TestFaultLiveMaskAndCandidates(t *testing.T) {
+	g := ring(6)
+	// Two candidate 0→3 paths: clockwise 0-1-2-3 and counterclockwise
+	// 0-5-4-3.
+	cw := graph.Path{0, 1, 2, 3}
+	ccw := graph.Path{0, 5, 4, 3}
+	ps := []graph.Path{cw, ccw}
+	sched := MustSchedule([]Event{
+		{At: 10, U: 1, V: 2},
+		{At: 20, U: 4, V: 5},
+		{At: 30, Up: true, U: 1, V: 2},
+	})
+	st, err := NewState(g, sched, Policy{}, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mask := st.LiveMask(0, 3, ps); mask != 0b11 {
+		t.Fatalf("pre-fault mask %b, want 11", mask)
+	}
+	st.Advance(10)
+	if mask := st.LiveMask(0, 3, ps); mask != 0b10 {
+		t.Fatalf("mask after killing cw %b, want 10", mask)
+	}
+	// Cached: same epoch returns the same mask.
+	if mask := st.LiveMask(0, 3, ps); mask != 0b10 {
+		t.Fatal("cached mask differs")
+	}
+	cand, mask := st.Candidates(0, 3, ps)
+	if len(cand) != 2 || mask != 0b10 {
+		t.Fatalf("Candidates = %d paths, mask %b", len(cand), mask)
+	}
+	st.Advance(20) // both paths dead, no repair configured
+	cand, mask = st.Candidates(0, 3, ps)
+	if cand != nil || mask != 0 {
+		t.Fatalf("dead pair without repair: %v, %b", cand, mask)
+	}
+	st.Advance(30) // cw revives
+	if mask := st.LiveMask(0, 3, ps); mask != 0b01 {
+		t.Fatalf("mask after revival %b, want 01", mask)
+	}
+}
+
+func TestFaultRepair(t *testing.T) {
+	topo := jellyfish.MustNew(jellyfish.Params{N: 20, X: 8, Y: 6}, xrand.New(9))
+	g := topo.G
+	cfg := ksp.Config{Alg: ksp.REDKSP, K: 4}
+	comp := ksp.NewComputer(g, cfg, xrand.New(77))
+	comp.Reseed(77, pairKey(0, 5))
+	ps := comp.Paths(0, 5)
+	if len(ps) == 0 {
+		t.Fatal("no baseline paths")
+	}
+	// Fail every link of every baseline path so the pair's whole set dies.
+	var events []Event
+	seen := map[uint64]struct{}{}
+	for _, p := range ps {
+		for i := 0; i+1 < len(p); i++ {
+			key := graph.UndirectedEdgeKey(p[i], p[i+1])
+			if _, dup := seen[key]; dup {
+				continue
+			}
+			seen[key] = struct{}{}
+			events = append(events, Event{At: 5, U: p[i], V: p[i+1]})
+		}
+	}
+	st, err := NewState(g, MustSchedule(events), Policy{}, &RepairConfig{KSP: cfg, Seed: 77}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Advance(5)
+	if st.LiveMask(0, 5, ps) != 0 {
+		t.Fatal("some baseline path survived the full kill")
+	}
+	cand, mask := st.Candidates(0, 5, ps)
+	if len(cand) == 0 || mask == 0 {
+		t.Fatal("repair produced no paths on a degraded but connected graph")
+	}
+	for _, p := range cand {
+		if !st.PathAlive(p) {
+			t.Fatalf("repaired path %v crosses a failed link", p)
+		}
+		if !p.ValidIn(g) {
+			t.Fatalf("repaired path %v invalid in the base graph", p)
+		}
+	}
+	// Deterministic and cached per epoch.
+	again, _ := st.Candidates(0, 5, ps)
+	if &again[0][0] != &cand[0][0] {
+		t.Fatal("second Candidates call recomputed instead of using the cache")
+	}
+	if _, _, repairs := st.Counters(); repairs != 1 {
+		t.Fatalf("repairs = %d, want 1", repairs)
+	}
+	// NoRepair policy disables recomputation even with a RepairConfig.
+	st2, _ := NewState(g, MustSchedule(events), Policy{NoRepair: true}, &RepairConfig{KSP: cfg, Seed: 77}, 0)
+	st2.Advance(5)
+	if got := st2.Repaired(0, 5); got != nil {
+		t.Fatalf("NoRepair state repaired anyway: %v", got)
+	}
+}
+
+func TestFaultMaskHelpers(t *testing.T) {
+	if FullMask(0) != 0 || FullMask(3) != 0b111 || FullMask(64) != ^uint64(0) || FullMask(200) != ^uint64(0) {
+		t.Fatal("FullMask wrong")
+	}
+	if PopCount(0b1011) != 3 {
+		t.Fatal("PopCount wrong")
+	}
+	if FirstSet(0b1000) != 3 || FirstSet(0) != 64 {
+		t.Fatal("FirstSet wrong")
+	}
+	if NthSet(0b10110, 0) != 1 || NthSet(0b10110, 1) != 2 || NthSet(0b10110, 2) != 4 {
+		t.Fatal("NthSet wrong")
+	}
+	if NextSet(0b0100, 2, 4) != 2 || NextSet(0b0100, 3, 4) != 2 || NextSet(0b0011, 1, 4) != 1 {
+		t.Fatal("NextSet wrong")
+	}
+}
+
+func TestFaultPolicyNames(t *testing.T) {
+	for _, name := range []string{"reroute", "drop", "reroute-norepair", "drop-norepair"} {
+		p, err := PolicyByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.String() != name {
+			t.Fatalf("PolicyByName(%q).String() = %q", name, p.String())
+		}
+	}
+	if p, err := PolicyByName(""); err != nil || p != (Policy{}) {
+		t.Fatal("empty policy name is not the default")
+	}
+	if _, err := PolicyByName("explode"); err == nil || !strings.Contains(err.Error(), "explode") {
+		t.Fatalf("unknown policy error = %v", err)
+	}
+}

@@ -29,8 +29,10 @@ package flitsim
 import (
 	"fmt"
 
+	"repro/internal/faults"
 	"repro/internal/graph"
 	"repro/internal/jellyfish"
+	"repro/internal/ksp"
 	"repro/internal/telemetry"
 	"repro/internal/traffic"
 	"repro/internal/xrand"
@@ -88,6 +90,14 @@ type Config struct {
 	// simulation allocates no instrumentation state.
 	Telemetry *telemetry.Collector
 
+	// Faults is an optional schedule of timed link-down/link-up events
+	// applied while the run is in flight; FaultPolicy selects what happens
+	// to traffic caught on a failed link (see internal/faults). A nil or
+	// empty schedule attaches no fault machinery at all, so the run is
+	// bit-identical to one without these fields.
+	Faults      *faults.Schedule
+	FaultPolicy faults.Policy
+
 	// SaturationLatencyOnly restricts saturation detection to the paper's
 	// latency threshold. By default a run also counts as saturated when
 	// accepted throughput falls below 90% of offered load, which catches
@@ -143,12 +153,21 @@ type Result struct {
 	// saturation reads as "at least the cap".
 	P50, P95, P99 float64
 	// Injected and Delivered count packets over the whole run (including
-	// warmup); Dropped is always 0 (lossless network) and retained for
-	// conservation checks.
-	Injected, Delivered int64
+	// warmup). Dropped counts packets discarded because of link failures
+	// (always 0 without a fault schedule: the network is lossless).
+	Injected, Delivered, Dropped int64
 	// InFlight is the number of packets still in the network when the run
-	// ended (conservation: Injected == Delivered + InFlight).
+	// ended (conservation: Injected == Delivered + Dropped + InFlight).
 	InFlight int64
+	// Rerouted counts packets requeued onto a surviving path after a link
+	// failure; PathRepairs counts per-pair path-set recomputations on the
+	// failed-edge-filtered graph; FaultEvents counts applied link-down and
+	// link-up events.
+	Rerouted, PathRepairs, FaultEvents int64
+	// SampleDelivered holds the per-sample delivered packet counts during
+	// measurement — the time series fault experiments read to see
+	// throughput dip and recover around a failure.
+	SampleDelivered []int64
 	// MaxHops observed over delivered packets.
 	MaxHops int
 	// AvgHops is the mean switch-level hop count over packets delivered
@@ -190,7 +209,13 @@ type Sim struct {
 	clock int64
 	tel   *telemetry.Collector // nil when telemetry is off
 
+	// faults is nil unless a non-empty schedule was configured, so the
+	// no-fault hot path pays one nil check per cycle and nothing else.
+	faults   *faults.State
+	rerouteQ []int32 // packets awaiting re-insertion after a reroute
+
 	injected, delivered, deliveredMeas int64
+	dropped, rerouted                  int64
 	latSumMeas, hopSumMeas             int64
 	latHist                            []int64 // per-cycle latency histogram (measured packets)
 	maxHops                            int
@@ -247,15 +272,57 @@ func (w *wheel) take(now int64) []arrival {
 	return out
 }
 
-// New creates a simulator. It panics on invalid configuration.
+// Validate reports the first configuration error, applying no defaults:
+// zero-valued knobs are fine (they default), explicitly negative or
+// out-of-range ones are not.
+func (c Config) Validate() error {
+	switch {
+	case c.Topo == nil:
+		return fmt.Errorf("flitsim: Topo is required")
+	case c.Paths == nil:
+		return fmt.Errorf("flitsim: Paths is required")
+	case c.Traffic == nil:
+		return fmt.Errorf("flitsim: Traffic is required")
+	case c.Mechanism == nil:
+		return fmt.Errorf("flitsim: Mechanism is required")
+	case c.InjectionRate < 0 || c.InjectionRate > 1:
+		return fmt.Errorf("flitsim: injection rate %v out of [0,1]", c.InjectionRate)
+	case c.ChannelLatency < 0:
+		return fmt.Errorf("flitsim: negative channel latency %d", c.ChannelLatency)
+	case c.TerminalLatency < 0:
+		return fmt.Errorf("flitsim: negative terminal latency %d", c.TerminalLatency)
+	case c.BufDepth < 0:
+		return fmt.Errorf("flitsim: negative buffer depth %d", c.BufDepth)
+	case c.NumVCs < 0:
+		return fmt.Errorf("flitsim: negative VC count %d", c.NumVCs)
+	case c.SampleCycles < 0:
+		return fmt.Errorf("flitsim: negative sample length %d", c.SampleCycles)
+	case c.NumSamples < 0:
+		return fmt.Errorf("flitsim: negative sample count %d", c.NumSamples)
+	case c.SatLatency < 0:
+		return fmt.Errorf("flitsim: negative saturation latency %v", c.SatLatency)
+	}
+	return nil
+}
+
+// New creates a simulator, panicking on invalid configuration. Prefer
+// NewSim in code with a caller to report to; New suits tests and sweeps
+// over pre-validated configurations.
 func New(cfg Config) *Sim {
+	s, err := NewSim(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NewSim creates a simulator, returning an error on invalid
+// configuration or a fault schedule referencing non-existent links.
+func NewSim(cfg Config) (*Sim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	cfg = cfg.withDefaults()
-	if cfg.Topo == nil || cfg.Paths == nil || cfg.Traffic == nil || cfg.Mechanism == nil {
-		panic("flitsim: Topo, Paths, Traffic and Mechanism are required")
-	}
-	if cfg.InjectionRate < 0 || cfg.InjectionRate > 1 {
-		panic(fmt.Sprintf("flitsim: injection rate %v out of [0,1]", cfg.InjectionRate))
-	}
 	s := &Sim{
 		cfg:     cfg,
 		topo:    cfg.Topo,
@@ -311,7 +378,32 @@ func New(cfg Config) *Sim {
 			QueueCap:   int64(cfg.BufDepth) * int64(s.numVC),
 		})
 	}
-	return s
+	if cfg.Faults.Len() > 0 {
+		st, err := faults.NewState(s.g, cfg.Faults, cfg.FaultPolicy, repairConfigOf(cfg.Paths), s.numVC)
+		if err != nil {
+			return nil, err
+		}
+		st.SetTelemetry(s.tel)
+		s.faults = st
+	}
+	return s, nil
+}
+
+// repairSource is implemented by path providers (paths.DB) that can tell
+// the fault machinery how to recompute a pair's set on a degraded graph.
+type repairSource interface {
+	Config() ksp.Config
+	Seed() uint64
+}
+
+// repairConfigOf extracts a repair recipe from the path provider, or nil
+// when the provider cannot supply one (repair is then disabled).
+func repairConfigOf(p PathProvider) *faults.RepairConfig {
+	src, ok := p.(repairSource)
+	if !ok {
+		return nil
+	}
+	return &faults.RepairConfig{KSP: src.Config(), Seed: src.Seed()}
 }
 
 // Telemetry returns the attached collector (nil when telemetry is off).
@@ -360,8 +452,26 @@ func (s *Sim) freePkt(id int32) {
 // step advances the simulation by one cycle. measuring toggles stats
 // collection for delivered packets.
 func (s *Sim) step(measuring bool, sampleLatSum *int64, sampleCount *int64) {
-	// 1. Deliver in-flight packets into their reserved queue slots.
+	// 0. Apply fault events due this cycle (flushes queues on freshly
+	// failed links and sweeps the in-flight wheel).
+	if s.faults != nil {
+		if evs := s.faults.Advance(s.clock); evs != nil {
+			s.onFaultEvents(evs)
+		}
+	}
+
+	// 1. Deliver in-flight packets into their reserved queue slots. A
+	// packet can land at the tail of a link that failed while it was in
+	// flight toward it; it is then standing at the link's sending switch
+	// and reroutes (or drops) from there.
 	for _, a := range s.inflight.take(s.clock) {
+		if s.faults != nil && s.faults.LinkDown(a.link) {
+			p := &s.pkts[a.pkt]
+			s.occ[a.link]--
+			s.occVC[int(a.link)*s.numVC+int(a.vc)]--
+			s.handleFaultPacket(a.pkt, p.path[p.hop])
+			continue
+		}
 		s.queues[a.link][a.vc].push(a.pkt)
 	}
 
@@ -404,6 +514,9 @@ func (s *Sim) step(measuring bool, sampleLatSum *int64, sampleCount *int64) {
 	// 3. Network links: each sends its arbitration winner if the packet's
 	// next queue has space.
 	for link := int32(0); int(link) < s.numNet; link++ {
+		if s.faults != nil && s.faults.LinkDown(link) {
+			continue
+		}
 		vc := s.pickVC(link)
 		if vc < 0 {
 			continue
@@ -411,6 +524,15 @@ func (s *Sim) step(measuring bool, sampleLatSum *int64, sampleCount *int64) {
 		id := s.queues[link][vc].peek()
 		p := &s.pkts[id]
 		nextLink, nextVC := s.nextHopOf(p)
+		if s.faults != nil && s.faults.LinkDown(nextLink) {
+			// The packet's next edge died after it was queued here: pull
+			// it out and reroute (or drop) from its current switch.
+			s.queues[link][vc].pop()
+			s.occ[link]--
+			s.occVC[int(link)*s.numVC+int(vc)]--
+			s.handleFaultPacket(id, p.path[p.hop])
+			continue
+		}
 		hasSpace := s.spaceIn(nextLink, nextVC)
 		if s.tel != nil {
 			if hasSpace {
@@ -432,6 +554,12 @@ func (s *Sim) step(measuring bool, sampleLatSum *int64, sampleCount *int64) {
 		}
 	}
 
+	// 3b. Re-insert rerouted packets waiting for buffer space on their
+	// replacement paths.
+	if len(s.rerouteQ) > 0 {
+		s.processReroutes()
+	}
+
 	// 4. Injection links: move the head of each terminal's source queue
 	// into the network. The path is chosen here — at network entry — so
 	// adaptive mechanisms see current queue state.
@@ -442,11 +570,24 @@ func (s *Sim) step(measuring bool, sampleLatSum *int64, sampleCount *int64) {
 		}
 		id := q.peek()
 		p := &s.pkts[id]
+		if p.path != nil && s.faults != nil && p.path.Hops() > 0 &&
+			s.faults.LinkDown(s.g.LinkID(p.path[0], p.path[1])) {
+			// The path chosen while waiting for buffer space starts on a
+			// link that has since failed; choose again.
+			p.path = nil
+		}
 		if p.path == nil {
 			src := s.topo.SwitchOf(int(term))
 			dst := s.topo.SwitchOf(int(p.dstTerm))
 			p.path = s.mech.choose(s, src, dst, term, p.dstTerm)
 			if p.path == nil {
+				if s.faults != nil {
+					// Faults severed every candidate and repair found no
+					// route; the packet cannot enter the network.
+					q.pop()
+					s.dropPkt(id)
+					continue
+				}
 				panic(fmt.Sprintf("flitsim: no path %d->%d", src, dst))
 			}
 			if p.path.Hops() > s.numVC {

@@ -18,7 +18,10 @@ func (s *Sim) Run() Result {
 		// warmup traffic from measured traffic.
 		s.tel.Snapshot(s.clock)
 	}
-	res := Result{SampleLatencies: make([]float64, 0, s.cfg.NumSamples)}
+	res := Result{
+		SampleLatencies: make([]float64, 0, s.cfg.NumSamples),
+		SampleDelivered: make([]int64, 0, s.cfg.NumSamples),
+	}
 	offered := s.cfg.InjectionRate > 0 && s.numTerm > 0
 	injectedBefore := s.injected
 	for sample := 0; sample < s.cfg.NumSamples; sample++ {
@@ -29,6 +32,7 @@ func (s *Sim) Run() Result {
 		if s.tel != nil {
 			s.tel.Snapshot(s.clock)
 		}
+		res.SampleDelivered = append(res.SampleDelivered, count)
 		var avg float64
 		if count > 0 {
 			avg = float64(latSum) / float64(count)
@@ -65,8 +69,15 @@ func (s *Sim) Run() Result {
 	res.P99 = s.latPercentile(0.99)
 	res.Injected = s.injected
 	res.Delivered = s.delivered
-	res.InFlight = s.injected - s.delivered
+	res.Dropped = s.dropped
+	res.Rerouted = s.rerouted
+	res.InFlight = s.injected - s.delivered - s.dropped
 	res.MaxHops = s.maxHops
+	if s.faults != nil {
+		downs, ups, repairs := s.faults.Counters()
+		res.FaultEvents = downs + ups
+		res.PathRepairs = repairs
+	}
 	return res
 }
 
@@ -103,10 +114,14 @@ func (s *Sim) Step(n int) {
 func (s *Sim) Clock() int64 { return s.clock }
 
 // Counts returns the conservation counters: packets injected, delivered,
-// and still inside the network (source queues, link queues, channels).
+// and still inside the network (source queues, link queues, channels,
+// reroute queue). Dropped packets (fault policy) have left the network.
 func (s *Sim) Counts() (injected, delivered, inFlight int64) {
-	return s.injected, s.delivered, s.injected - s.delivered
+	return s.injected, s.delivered, s.injected - s.delivered - s.dropped
 }
+
+// Dropped returns the packets discarded because of link failures.
+func (s *Sim) Dropped() int64 { return s.dropped }
 
 // QueuedPackets recounts every packet currently buffered or in flight, for
 // conservation checking against Counts.
@@ -123,6 +138,7 @@ func (s *Sim) QueuedPackets() int64 {
 	for _, slot := range s.inflight.slots {
 		total += int64(len(slot))
 	}
+	total += int64(len(s.rerouteQ))
 	return total
 }
 

@@ -3,6 +3,7 @@ package flitsim
 import (
 	"fmt"
 
+	"repro/internal/faults"
 	"repro/internal/graph"
 )
 
@@ -60,6 +61,20 @@ func pathsFor(s *Sim, src, dst graph.NodeID) []graph.Path {
 	return ps
 }
 
+// faultActive reports whether any link is currently down. Mechanisms
+// branch on it: the false branch is the exact pre-fault code, so a run
+// with an empty (or not-yet-fired, or fully recovered) schedule consumes
+// the RNG identically to a run with no fault machinery at all.
+func (s *Sim) faultActive() bool { return s.faults != nil && s.faults.Active() }
+
+// livePathsFor returns the pair's routable candidates and liveness mask
+// under the current fault state: the configured candidates with dead ones
+// masked off, or a repaired set when all of them died. A zero mask means
+// the pair is unroutable right now and the caller must return nil.
+func livePathsFor(s *Sim, src, dst graph.NodeID) ([]graph.Path, uint64) {
+	return s.faults.Candidates(src, dst, s.cfg.Paths.Paths(src, dst))
+}
+
 func sameSwitch(src graph.NodeID) graph.Path { return graph.Path{src} }
 
 // --- SP ---------------------------------------------------------------------
@@ -80,6 +95,14 @@ func (spState) choose(s *Sim, src, dst graph.NodeID, _, _ int32) graph.Path {
 	if src == dst {
 		return sameSwitch(src)
 	}
+	if s.faultActive() {
+		// Degraded mode: the shortest *surviving* candidate.
+		ps, mask := livePathsFor(s, src, dst)
+		if mask == 0 {
+			return nil
+		}
+		return ps[faults.FirstSet(mask)]
+	}
 	return pathsFor(s, src, dst)[0]
 }
 
@@ -99,6 +122,13 @@ type randomState struct{}
 func (randomState) choose(s *Sim, src, dst graph.NodeID, _, _ int32) graph.Path {
 	if src == dst {
 		return sameSwitch(src)
+	}
+	if s.faultActive() {
+		ps, mask := livePathsFor(s, src, dst)
+		if mask == 0 {
+			return nil
+		}
+		return ps[faults.NthSet(mask, s.rng.IntN(faults.PopCount(mask)))]
 	}
 	ps := pathsFor(s, src, dst)
 	return ps[s.rng.IntN(len(ps))]
@@ -126,8 +156,19 @@ func (r *rrState) choose(s *Sim, src, dst graph.NodeID, _, _ int32) graph.Path {
 	if src == dst {
 		return sameSwitch(src)
 	}
-	ps := pathsFor(s, src, dst)
 	key := uint64(uint32(src))<<32 | uint64(uint32(dst))
+	if s.faultActive() {
+		// Keep cycling the counter but skip dead candidates: the next
+		// live path at or after the counter position carries the packet.
+		ps, mask := livePathsFor(s, src, dst)
+		if mask == 0 {
+			return nil
+		}
+		i := faults.NextSet(mask, int(r.counters[key])%len(ps), len(ps))
+		r.counters[key] = int32((i + 1) % len(ps))
+		return ps[i]
+	}
+	ps := pathsFor(s, src, dst)
 	i := r.counters[key]
 	r.counters[key] = (i + 1) % int32(len(ps))
 	return ps[i]
@@ -164,6 +205,9 @@ func (st ugalState) choose(s *Sim, src, dst graph.NodeID, _, _ int32) graph.Path
 	if src == dst {
 		return sameSwitch(src)
 	}
+	if s.faultActive() {
+		return st.chooseDegraded(s, src, dst)
+	}
 	minPath := pathsFor(s, src, dst)[0]
 	// Random intermediate different from both endpoints.
 	n := s.g.NumNodes()
@@ -180,6 +224,38 @@ func (st ugalState) choose(s *Sim, src, dst graph.NodeID, _, _ int32) graph.Path
 	nonMin = append(nonMin, a...)
 	nonMin = append(nonMin, b[1:]...)
 	if s.pathCost(nonMin)+st.bias < s.pathCost(minPath) {
+		return nonMin
+	}
+	return minPath
+}
+
+// chooseDegraded is VanillaUGAL under active faults: the minimal candidate
+// becomes the best surviving path, and the Valiant detour is admitted only
+// when both of its legs survive (and it fits the VC budget).
+func (st ugalState) chooseDegraded(s *Sim, src, dst graph.NodeID) graph.Path {
+	ps, mask := livePathsFor(s, src, dst)
+	if mask == 0 {
+		return nil
+	}
+	minPath := ps[faults.FirstSet(mask)]
+	n := s.g.NumNodes()
+	var mid graph.NodeID
+	for {
+		mid = graph.NodeID(s.rng.IntN(n))
+		if mid != src && mid != dst {
+			break
+		}
+	}
+	la, ma := livePathsFor(s, src, mid)
+	lb, mb := livePathsFor(s, mid, dst)
+	if ma == 0 || mb == 0 {
+		return minPath
+	}
+	a, b := la[faults.FirstSet(ma)], lb[faults.FirstSet(mb)]
+	nonMin := make(graph.Path, 0, len(a)+len(b)-1)
+	nonMin = append(nonMin, a...)
+	nonMin = append(nonMin, b[1:]...)
+	if nonMin.Hops() <= s.numVC && s.pathCost(nonMin)+st.bias < s.pathCost(minPath) {
 		return nonMin
 	}
 	return minPath
@@ -208,6 +284,25 @@ type kspUgalState struct{ bias int }
 func (st kspUgalState) choose(s *Sim, src, dst graph.NodeID, _, _ int32) graph.Path {
 	if src == dst {
 		return sameSwitch(src)
+	}
+	if s.faultActive() {
+		// Degraded mode: minimal = best surviving, alternative = a random
+		// other survivor.
+		ps, mask := livePathsFor(s, src, dst)
+		if mask == 0 {
+			return nil
+		}
+		minIdx := faults.FirstSet(mask)
+		minPath := ps[minIdx]
+		live := faults.PopCount(mask)
+		if live == 1 {
+			return minPath
+		}
+		alt := ps[faults.NthSet(mask, 1+s.rng.IntN(live-1))]
+		if s.pathCost(alt)+st.bias < s.pathCost(minPath) {
+			return alt
+		}
+		return minPath
 	}
 	ps := pathsFor(s, src, dst)
 	minPath := ps[0]
@@ -239,6 +334,23 @@ type kspAdaptiveState struct{}
 func (kspAdaptiveState) choose(s *Sim, src, dst graph.NodeID, _, _ int32) graph.Path {
 	if src == dst {
 		return sameSwitch(src)
+	}
+	if s.faultActive() {
+		// Degraded mode: two distinct random *survivors* compete.
+		ps, mask := livePathsFor(s, src, dst)
+		if mask == 0 {
+			return nil
+		}
+		live := faults.PopCount(mask)
+		if live == 1 {
+			return ps[faults.FirstSet(mask)]
+		}
+		i, j := s.rng.TwoDistinct(live)
+		a, b := ps[faults.NthSet(mask, i)], ps[faults.NthSet(mask, j)]
+		if s.pathCost(b) < s.pathCost(a) {
+			return b
+		}
+		return a
 	}
 	ps := pathsFor(s, src, dst)
 	if len(ps) == 1 {

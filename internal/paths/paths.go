@@ -85,6 +85,16 @@ func BuildAllPairs(g *graph.Graph, cfg ksp.Config, seed uint64, workers int) *DB
 // computeWith computes the pair's path set with per-pair deterministic
 // randomness: the computer's RNG is reseeded from (db.seed, src, dst), so
 // the result does not depend on which worker or call order produced it.
+//
+// This is the DB's seed-splitting scheme. The base seed is not consumed
+// sequentially — doing so would make each pair's paths depend on how the
+// preceding pairs were scheduled across workers. Instead every pair gets
+// its own PCG stream keyed (db.seed, pairKey(src, dst)): the 64-bit pair
+// key (src in the high word, dst in the low) is the second seed word, and
+// the PCG initializer mixes both words, so streams for different pairs are
+// statistically independent. Build with workers=1, workers=N, lazy Paths
+// calls in any order, and fault-time repair on a filtered graph all
+// reproduce the identical path set for a pair.
 func (db *DB) computeWith(c *ksp.Computer, src, dst graph.NodeID) []graph.Path {
 	c.Reseed(db.seed, pairKey(src, dst))
 	return c.Paths(src, dst)
@@ -95,6 +105,12 @@ func (db *DB) Graph() *graph.Graph { return db.g }
 
 // Config returns the selector configuration.
 func (db *DB) Config() ksp.Config { return db.cfg }
+
+// Seed returns the DB's base seed. Together with Config and Graph it is
+// everything needed to recompute any pair's set identically — the fault
+// machinery uses it to repair path sets on a failed-edge-filtered graph
+// (see internal/faults.RepairConfig).
+func (db *DB) Seed() uint64 { return db.seed }
 
 // K returns the configured number of paths per pair.
 func (db *DB) K() int { return db.cfg.K }

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"slices"
 	"strconv"
 	"strings"
 
@@ -21,7 +22,9 @@ import (
 //	path <n0> <n1> ... <nm>
 //	...
 //
-// Pairs are emitted in unspecified order; load order does not matter.
+// Pairs are emitted in ascending (src, dst) order, so two DBs holding the
+// same path sets serialize byte-identically regardless of how they were
+// filled (eager builds at any worker count, lazy fills in any order).
 func (db *DB) Write(w io.Writer) error {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
@@ -30,7 +33,13 @@ func (db *DB) Write(w io.Writer) error {
 		db.cfg.Alg, db.cfg.K, db.seed); err != nil {
 		return err
 	}
-	for key, ps := range db.m {
+	keys := make([]uint64, 0, len(db.m))
+	for key := range db.m {
+		keys = append(keys, key)
+	}
+	slices.Sort(keys)
+	for _, key := range keys {
+		ps := db.m[key]
 		src := graph.NodeID(key >> 32)
 		dst := graph.NodeID(uint32(key))
 		if _, err := fmt.Fprintf(bw, "pair %d %d %d\n", src, dst, len(ps)); err != nil {

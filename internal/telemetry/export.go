@@ -139,13 +139,14 @@ func (c *Collector) WriteLinksCSV(w io.Writer) error {
 // WriteWindowsCSV writes one row per snapshot window with per-window
 // deltas:
 //
-//	cycle,flits,delivered,mean_latency
+//	cycle,flits,delivered,mean_latency,fault_events,drops,reroutes,repairs,links_down
 //
-// flits and delivered are the counts within the window (since the
-// previous snapshot); mean_latency is the mean latency of packets
-// delivered within it (empty when none were).
+// flits, delivered, fault_events, drops, reroutes and repairs are the
+// counts within the window (since the previous snapshot); mean_latency is
+// the mean latency of packets delivered within it (empty when none were);
+// links_down is the gauge value at the snapshot, not a delta.
 func (c *Collector) WriteWindowsCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "cycle,flits,delivered,mean_latency"); err != nil {
+	if _, err := fmt.Fprintln(w, "cycle,flits,delivered,mean_latency,fault_events,drops,reroutes,repairs,links_down"); err != nil {
 		return err
 	}
 	var prev Window
@@ -156,7 +157,11 @@ func (c *Collector) WriteWindowsCSV(w io.Writer) error {
 		if delivered > 0 {
 			mean = fmt.Sprintf("%.2f", float64(win.LatencySum-prev.LatencySum)/float64(delivered))
 		}
-		if _, err := fmt.Fprintf(w, "%d,%d,%d,%s\n", win.Cycle, flits, delivered, mean); err != nil {
+		if _, err := fmt.Fprintf(w, "%d,%d,%d,%s,%d,%d,%d,%d,%d\n",
+			win.Cycle, flits, delivered, mean,
+			win.FaultEvents-prev.FaultEvents, win.Drops-prev.Drops,
+			win.Reroutes-prev.Reroutes, win.Repairs-prev.Repairs,
+			win.DownLinks); err != nil {
 			return err
 		}
 		prev = win

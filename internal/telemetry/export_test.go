@@ -40,6 +40,12 @@ func goldenCollector() *Collector {
 	c.SampleQueues([]int32{2, 0, 1, 0})
 	c.SampleQueues([]int32{1, 1, 0, 0})
 	c.Snapshot(1)
+	c.CountFaultEvents(2)
+	c.CountFaultDrop()
+	c.CountFaultReroute()
+	c.CountFaultReroute()
+	c.CountFaultRepair()
+	c.SetLinksDown(2)
 	c.Snapshot(2)
 	return c
 }

@@ -126,6 +126,17 @@ type Window struct {
 	Delivered int64
 	// LatencySum is the cumulative sum of observed latencies.
 	LatencySum int64
+	// FaultEvents is the cumulative count of applied link-down/link-up
+	// events; Drops, Reroutes and Repairs are the cumulative fault
+	// consequences (packets discarded, packets moved to a surviving
+	// path, path-set recomputations).
+	FaultEvents int64
+	Drops       int64
+	Reroutes    int64
+	Repairs     int64
+	// DownLinks is the instantaneous number of failed links at the
+	// snapshot (a gauge, not a cumulative total).
+	DownLinks int64
 }
 
 // Collector gathers one run's telemetry. Create it empty with
@@ -157,6 +168,15 @@ type Collector struct {
 	PathChoice *CounterVec
 
 	cycles atomic.Int64
+
+	// Fault-injection telemetry (see internal/faults). Plain scalar
+	// atomics rather than vectors, so they work even on a collector
+	// whose Init has not run yet.
+	faultEvents   atomic.Int64
+	faultDrops    atomic.Int64
+	faultReroutes atomic.Int64
+	faultRepairs  atomic.Int64
+	linksDown     atomic.Int64 // gauge: currently failed links
 
 	mu      sync.Mutex
 	windows []Window
@@ -217,6 +237,31 @@ func (c *Collector) CountChoice(idx int) {
 	c.PathChoice.Inc(idx)
 }
 
+// CountFaultEvents records n applied link-down/link-up events.
+func (c *Collector) CountFaultEvents(n int64) { c.faultEvents.Add(n) }
+
+// CountFaultDrop records one packet discarded because of a link failure.
+func (c *Collector) CountFaultDrop() { c.faultDrops.Add(1) }
+
+// CountFaultReroute records one packet requeued onto a surviving path.
+func (c *Collector) CountFaultReroute() { c.faultReroutes.Add(1) }
+
+// CountFaultRepair records one path-set recomputation on the
+// failed-edge-filtered graph.
+func (c *Collector) CountFaultRepair() { c.faultRepairs.Add(1) }
+
+// SetLinksDown records the current number of failed links (a gauge).
+func (c *Collector) SetLinksDown(n int64) { c.linksDown.Store(n) }
+
+// FaultCounts returns the cumulative fault-event, drop, reroute and
+// repair totals.
+func (c *Collector) FaultCounts() (events, drops, reroutes, repairs int64) {
+	return c.faultEvents.Load(), c.faultDrops.Load(), c.faultReroutes.Load(), c.faultRepairs.Load()
+}
+
+// LinksDown returns the current number of failed links.
+func (c *Collector) LinksDown() int64 { return c.linksDown.Load() }
+
 // SampleQueues records one cycle's committed occupancy for every link in
 // occ (occ may cover a prefix of the links; trailing pseudo-links keep
 // only stall counters) and advances the sampled-cycle count.
@@ -237,7 +282,15 @@ func (c *Collector) SampleQueues(occ []int32) {
 // Snapshot appends a window capturing the run's cumulative totals at the
 // given cycle. Simulators call it at measurement-window boundaries.
 func (c *Collector) Snapshot(cycle int64) {
-	w := Window{Cycle: cycle, Flits: c.Forwarded.Total()}
+	w := Window{
+		Cycle:       cycle,
+		Flits:       c.Forwarded.Total(),
+		FaultEvents: c.faultEvents.Load(),
+		Drops:       c.faultDrops.Load(),
+		Reroutes:    c.faultReroutes.Load(),
+		Repairs:     c.faultRepairs.Load(),
+		DownLinks:   c.linksDown.Load(),
+	}
 	if c.Latency != nil {
 		w.Delivered = c.Latency.Count()
 		w.LatencySum = c.Latency.Sum()
