@@ -1,7 +1,8 @@
 # Pre-PR gate (documented in docs/ARCHITECTURE.md): formatting, vet,
 # optional linters, race-detector runs of the concurrency-heavy packages
-# and the fault-injection paths, full build.
-.PHONY: check build test bench fmt lint race-faults
+# and the fault-injection paths, full build. gofmt and go vet always run;
+# staticcheck/govulncheck are optional-when-installed (see lint).
+.PHONY: check build test bench bench-routing fmt lint race-faults
 
 check: fmt lint
 	go vet ./...
@@ -37,5 +38,11 @@ build:
 test:
 	go test ./...
 
-bench:
+bench: bench-routing
 	go test -bench=. -benchmem ./...
+
+# Routing-engine microbenchmarks: ns/op and allocs/op of one Choose call
+# per mechanism on k=8 candidate sets, written to BENCH_routing.json (the
+# committed file is the baseline to diff against).
+bench-routing:
+	go run ./internal/routing/benchjson -o BENCH_routing.json

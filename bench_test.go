@@ -11,11 +11,11 @@ import (
 	"fmt"
 	"testing"
 
-	"repro/internal/appsim"
 	"repro/internal/exp"
 	"repro/internal/flitsim"
 	"repro/internal/jellyfish"
 	"repro/internal/ksp"
+	"repro/internal/routing"
 	"repro/internal/xrand"
 )
 
@@ -154,7 +154,7 @@ func benchLatencyCurve(b *testing.B, pattern string) {
 	}
 	sc := exp.Scale{TopoSamples: 1, PatternSamples: 1, K: 4, Seed: 1}
 	for i := 0; i < b.N; i++ {
-		res, err := exp.FlitLatencyCurve(cfg, flitsim.KSPAdaptive(), sc)
+		res, err := exp.FlitLatencyCurve(cfg, routing.KSPAdaptive(), sc)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -177,7 +177,7 @@ func benchAppTable(b *testing.B, mapping string) {
 		Params:       benchSmall,
 		Mapping:      mapping,
 		BytesPerRank: 200 * 1500,
-		Mechanism:    appsim.MechKSPAdaptive,
+		Mechanism:    routing.KSPAdaptive(),
 	}
 	sc := exp.Scale{TopoSamples: 1, PatternSamples: 1, K: 4, Seed: 1}
 	for i := 0; i < b.N; i++ {
@@ -230,7 +230,7 @@ func BenchmarkAblationUGALBias(b *testing.B) {
 	sc := exp.Scale{TopoSamples: 1, PatternSamples: 1, K: 4, Seed: 1}
 	cfg := exp.FlitConfig{Params: benchSmall, Pattern: "shift", Rates: []float64{0.6}}
 	for i := 0; i < b.N; i++ {
-		for _, mech := range []flitsim.Mechanism{flitsim.KSPUGAL(), flitsim.KSPAdaptive()} {
+		for _, mech := range []routing.Mechanism{routing.KSPUGAL(), routing.KSPAdaptive()} {
 			res, err := exp.FlitLatencyCurve(cfg, mech, sc)
 			if err != nil {
 				b.Fatal(err)

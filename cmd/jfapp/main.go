@@ -26,7 +26,7 @@ import (
 	"path/filepath"
 	"strings"
 
-	"repro/internal/appsim"
+	"repro/internal/cliflags"
 	"repro/internal/dumpi"
 	"repro/internal/exp"
 	"repro/internal/jellyfish"
@@ -38,7 +38,7 @@ func main() {
 	var (
 		topoName     = flag.String("topo", "small", "topology: small, medium or large (the paper uses medium)")
 		mapping      = flag.String("mapping", "linear", "process-to-node mapping: linear or random")
-		mechanism    = flag.String("mechanism", "KSP-adaptive", "per-packet mechanism: random or KSP-adaptive")
+		mechanism    = cliflags.Mechanism("ksp-adaptive")
 		stencils     = flag.String("stencils", "", "comma-separated stencil subset (default all four)")
 		bytesPerRank = flag.Int64("bytes-per-rank", traffic.DefaultTotalBytes, "bytes each rank sends")
 		k            = flag.Int("k", 8, "paths per switch pair")
@@ -48,10 +48,8 @@ func main() {
 		workers      = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 		csv          = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		dumpTraces   = flag.String("dump-traces", "", "write the synthetic DUMPI traces to this directory and exit")
-		telemetryDir = flag.String("telemetry", "", "run one instrumented replay (first of -stencils, default 2DNN) and write telemetry files to this directory")
-		selector     = flag.String("selector", "rEDKSP", "path selector for -telemetry: KSP, rKSP, EDKSP or rEDKSP")
-		faultSpec    = flag.String("faults", "", "fault schedule: none, random:<n>@<cycle>[,...] or a schedule file (see docs/FAULTS.md)")
-		faultPolicy  = flag.String("fault-policy", "reroute", "fault policy: reroute, drop, reroute-norepair or drop-norepair")
+		tel          = cliflags.TelemetryFlags("one instrumented replay (first of -stencils, default 2DNN)")
+		faultFlags   = cliflags.FaultFlags()
 	)
 	flag.Parse()
 
@@ -89,7 +87,7 @@ func main() {
 		return
 	}
 
-	mech, err := appsim.MechanismByName(*mechanism)
+	mech, err := cliflags.ResolveMechanism(*mechanism)
 	if err != nil {
 		fatal(err)
 	}
@@ -98,8 +96,8 @@ func main() {
 		Mapping:      *mapping,
 		BytesPerRank: *bytesPerRank,
 		Mechanism:    mech,
-		FaultSpec:    *faultSpec,
-		FaultPolicy:  *faultPolicy,
+		FaultSpec:    *faultFlags.Spec,
+		FaultPolicy:  *faultFlags.Policy,
 	}
 	if *stencils != "" {
 		for _, name := range strings.Split(*stencils, ",") {
@@ -111,8 +109,8 @@ func main() {
 		}
 	}
 
-	if *telemetryDir != "" {
-		alg, err := ksp.ByName(*selector)
+	if *tel.Dir != "" {
+		alg, err := ksp.ByName(*tel.Selector)
 		if err != nil {
 			fatal(err)
 		}
@@ -127,22 +125,22 @@ func main() {
 			Stencil:      kind,
 			Mapping:      *mapping,
 			BytesPerRank: *bytesPerRank,
-			FaultSpec:    *faultSpec,
-			FaultPolicy:  *faultPolicy,
+			FaultSpec:    *faultFlags.Spec,
+			FaultPolicy:  *faultFlags.Policy,
 		}, exp.Scale{K: *k, Seed: *seed, Workers: *workers})
 		if err != nil {
 			fatal(err)
 		}
-		if err := col.Export(*telemetryDir, manifest); err != nil {
+		if err := col.Export(*tel.Dir, manifest); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("%v %s/%s %s mapping %s: %.2f ms, %d packets\n",
-			params, alg, mech, *mapping, kind, res.Seconds*1e3, res.Packets)
+			params, alg, mech.Name(), *mapping, kind, res.Seconds*1e3, res.Packets)
 		if res.FaultEvents > 0 {
 			fmt.Printf("faults: %d events, %d dropped, %d rerouted, %d path repairs\n",
 				res.FaultEvents, res.Dropped, res.Rerouted, res.PathRepairs)
 		}
-		fmt.Println("wrote", *telemetryDir)
+		fmt.Println("wrote", *tel.Dir)
 		return
 	}
 
@@ -157,7 +155,7 @@ func main() {
 		fatal(err)
 	}
 	title := fmt.Sprintf("Communication time, %s mapping on %v (%s, %d bytes/rank)",
-		*mapping, params, mech, *bytesPerRank)
+		*mapping, params, mech.Name(), *bytesPerRank)
 	t := res.Table(title)
 	if *csv {
 		fmt.Print(t.CSV())

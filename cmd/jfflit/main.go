@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cliflags"
 	"repro/internal/exp"
 	"repro/internal/flitsim"
 	"repro/internal/jellyfish"
@@ -31,7 +32,7 @@ func main() {
 		experiment     = flag.String("experiment", "saturation", "saturation or latency")
 		topoName       = flag.String("topo", "small", "topology: small, medium or large")
 		pattern        = flag.String("pattern", "permutation", "permutation, shift or uniform")
-		mechanism      = flag.String("mechanism", "ksp-adaptive", "mechanism for -experiment latency")
+		mechanism      = cliflags.Mechanism("ksp-adaptive")
 		k              = flag.Int("k", 8, "paths per switch pair")
 		topoSamples    = flag.Int("topo-samples", 1, "RRG instances")
 		patternSamples = flag.Int("pattern-samples", 3, "traffic instances per RRG instance")
@@ -86,7 +87,7 @@ func main() {
 		}
 		t = res.Table(title)
 	case "latency":
-		mech, err := flitsim.MechanismByName(*mechanism)
+		mech, err := cliflags.ResolveMechanism(*mechanism)
 		if err != nil {
 			fatal(err)
 		}

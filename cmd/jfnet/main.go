@@ -32,9 +32,9 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/cliflags"
 	"repro/internal/exp"
 	"repro/internal/faults"
-	"repro/internal/flitsim"
 	"repro/internal/jellyfish"
 	"repro/internal/ksp"
 	"repro/internal/stats"
@@ -51,15 +51,13 @@ func main() {
 		workers     = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 		csv         = flag.Bool("csv", false, "emit CSV instead of aligned text")
 
-		telemetryDir = flag.String("telemetry", "", "run one instrumented flit-level simulation and write telemetry files to this directory")
-		selector     = flag.String("selector", "rEDKSP", "path selector for -telemetry: KSP, rKSP, EDKSP or rEDKSP")
-		mechanism    = flag.String("mechanism", "ksp-adaptive", "routing mechanism for -telemetry")
-		pattern      = flag.String("pattern", "permutation", "traffic pattern for -telemetry: permutation, shift or uniform")
-		rate         = flag.Float64("rate", 0.7, "offered load for -telemetry, in [0,1]")
+		tel       = cliflags.TelemetryFlags("one instrumented flit-level simulation")
+		mechanism = cliflags.Mechanism("ksp-adaptive")
+		pattern   = flag.String("pattern", "permutation", "traffic pattern for -telemetry: permutation, shift or uniform")
+		rate      = flag.Float64("rate", 0.7, "offered load for -telemetry, in [0,1]")
 
-		faultSpec   = flag.String("faults", "", "fault schedule for -telemetry: none, random:<n>@<cycle>[,...] or a schedule file")
-		faultPolicy = flag.String("fault-policy", "reroute", "fault policy: reroute, drop, reroute-norepair or drop-norepair")
-		faultSweep  = flag.String("fault-sweep", "", "comma-separated failed-link counts: run delivered-throughput vs. failures for all selectors and mechanisms")
+		faultFlags = cliflags.FaultFlags()
+		faultSweep = flag.String("fault-sweep", "", "comma-separated failed-link counts: run delivered-throughput vs. failures for all selectors and mechanisms")
 	)
 	flag.Parse()
 
@@ -68,13 +66,13 @@ func main() {
 	}
 
 	if *faultSweep != "" {
-		if err := runFaultSweep(*faultSweep, *topos, *pattern, *faultPolicy, *rate, *k, *topoSamples, *seed, *workers, *csv); err != nil {
+		if err := runFaultSweep(*faultSweep, *topos, *pattern, *faultFlags.Policy, *rate, *k, *topoSamples, *seed, *workers, *csv); err != nil {
 			fatal(err)
 		}
 		return
 	}
-	if *telemetryDir != "" {
-		if err := runTelemetry(*telemetryDir, *topos, *selector, *mechanism, *pattern, *faultSpec, *faultPolicy, *rate, *k, *seed, *workers); err != nil {
+	if *tel.Dir != "" {
+		if err := runTelemetry(*tel.Dir, *topos, *tel.Selector, *mechanism, *pattern, *faultFlags.Spec, *faultFlags.Policy, *rate, *k, *seed, *workers); err != nil {
 			fatal(err)
 		}
 		return
@@ -142,7 +140,7 @@ func runTelemetry(dir, topos, selector, mechanism, pattern, faultSpec, faultPoli
 	if err != nil {
 		return err
 	}
-	mech, err := flitsim.MechanismByName(mechanism)
+	mech, err := cliflags.ResolveMechanism(mechanism)
 	if err != nil {
 		return err
 	}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/flitsim"
 	"repro/internal/jellyfish"
 	"repro/internal/ksp"
+	"repro/internal/routing"
 	"repro/internal/stats"
 	"repro/internal/traffic"
 	"repro/internal/xrand"
@@ -29,7 +30,7 @@ func main() {
 		params, topo.NumTerminals(), pattern.Name)
 
 	rates := flitsim.Rates(0.1, 1.0, 0.1)
-	mechs := append(flitsim.Mechanisms(), flitsim.SP())
+	mechs := append(routing.Mechanisms(), routing.SP())
 
 	table := stats.NewTable("Average packet latency (cycles) vs offered load; '-' = saturated",
 		append([]string{"Mechanism"}, rateHeaders(rates)...)...)

@@ -8,9 +8,9 @@ import (
 	"log"
 
 	"repro/internal/core"
-	"repro/internal/flitsim"
 	"repro/internal/jellyfish"
 	"repro/internal/ksp"
+	"repro/internal/routing"
 	"repro/internal/traffic"
 	"repro/internal/xrand"
 )
@@ -53,7 +53,7 @@ func main() {
 	// A short cycle-level simulation with the paper's KSP-adaptive
 	// routing mechanism at 40%% offered load.
 	res := net.Simulate(core.SimOptions{
-		Mechanism:     flitsim.KSPAdaptive(),
+		Mechanism:     routing.KSPAdaptive(),
 		Traffic:       traffic.NewFixedSampler(pat),
 		InjectionRate: 0.4,
 	})

@@ -8,6 +8,7 @@ import (
 	"repro/internal/flitsim"
 	"repro/internal/jellyfish"
 	"repro/internal/ksp"
+	"repro/internal/routing"
 	"repro/internal/traffic"
 	"repro/internal/xrand"
 )
@@ -64,7 +65,7 @@ func TestEndToEndPipeline(t *testing.T) {
 	pat := traffic.RandomShift(nTerms, xrand.New(11))
 	simOf := func(n *core.Network) flitsim.Result {
 		return n.Simulate(core.SimOptions{
-			Mechanism:     flitsim.KSPAdaptive(),
+			Mechanism:     routing.KSPAdaptive(),
 			Traffic:       traffic.NewFixedSampler(pat),
 			InjectionRate: 0.35,
 			Seed:          5,

@@ -19,7 +19,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/graph"
 	"repro/internal/jellyfish"
-	"repro/internal/ksp"
+	"repro/internal/routing"
 	"repro/internal/telemetry"
 	"repro/internal/traffic"
 	"repro/internal/xrand"
@@ -28,41 +28,6 @@ import (
 // PathProvider supplies candidate paths per ordered switch pair.
 type PathProvider interface {
 	Paths(s, d graph.NodeID) []graph.Path
-}
-
-// Mechanism selects the per-packet path, from the two mechanisms the paper
-// added to CODES.
-type Mechanism int
-
-const (
-	// MechKSPAdaptive samples two candidates and takes the one whose first
-	// link is less loaded (the paper's KSP-adaptive). It is the zero value
-	// so it is the default everywhere, matching the paper's recommendation.
-	MechKSPAdaptive Mechanism = iota
-	// MechRandom picks one of the k candidate paths uniformly per packet.
-	MechRandom
-)
-
-// String returns the mechanism name.
-func (m Mechanism) String() string {
-	switch m {
-	case MechRandom:
-		return "random"
-	case MechKSPAdaptive:
-		return "KSP-adaptive"
-	}
-	return fmt.Sprintf("Mechanism(%d)", int(m))
-}
-
-// MechanismByName resolves a mechanism name.
-func MechanismByName(name string) (Mechanism, error) {
-	switch name {
-	case "random":
-		return MechRandom, nil
-	case "ksp-adaptive", "KSP-adaptive":
-		return MechKSPAdaptive, nil
-	}
-	return 0, fmt.Errorf("appsim: unknown mechanism %q", name)
 }
 
 // Defaults from the paper's CODES configuration.
@@ -78,8 +43,10 @@ type Config struct {
 	Topo *jellyfish.Topology
 	// Paths supplies the candidate paths.
 	Paths PathProvider
-	// Mechanism selects per-packet path choice.
-	Mechanism Mechanism
+	// Mechanism selects per-packet path choice (see internal/routing for
+	// the paper's six mechanisms and ByName). nil defaults to
+	// KSP-adaptive, matching the paper's recommendation.
+	Mechanism routing.Mechanism
 	// Flows is the terminal-level workload (apply the process-to-node
 	// mapping before passing it here).
 	Flows []traffic.SizedFlow
@@ -147,29 +114,7 @@ func (cfg Config) Validate() error {
 	if cfg.ComputeGap < 0 {
 		return fmt.Errorf("appsim: ComputeGap %d is negative", cfg.ComputeGap)
 	}
-	switch cfg.Mechanism {
-	case MechKSPAdaptive, MechRandom:
-	default:
-		return fmt.Errorf("appsim: unknown mechanism %v", cfg.Mechanism)
-	}
 	return nil
-}
-
-// repairSource is satisfied by path providers (paths.DB) that can expose
-// the selector configuration and seed needed to recompute their path sets
-// on a failed-edge-filtered graph. Providers that do not implement it get
-// no repair.
-type repairSource interface {
-	Config() ksp.Config
-	Seed() uint64
-}
-
-func repairConfigOf(p PathProvider) *faults.RepairConfig {
-	src, ok := p.(repairSource)
-	if !ok {
-		return nil
-	}
-	return &faults.RepairConfig{KSP: src.Config(), Seed: src.Seed()}
 }
 
 // Result reports one replay.
@@ -247,6 +192,10 @@ func Run(cfg Config) (Result, error) {
 	if cfg.BufDepth == 0 {
 		cfg.BufDepth = DefaultBufDepth
 	}
+	mech := cfg.Mechanism
+	if mech == nil {
+		mech = routing.KSPAdaptive()
+	}
 	g := cfg.Topo.G
 	numTerm := cfg.Topo.NumTerminals()
 	numNet := g.NumDirectedLinks()
@@ -254,6 +203,9 @@ func Run(cfg Config) (Result, error) {
 	if numVC == 0 {
 		m := graph.ComputeMetrics(g, 0)
 		numVC = 2*int(m.Diameter) + 2
+		if mech.NonMinimal() {
+			numVC = 3*int(m.Diameter) + 2
+		}
 	}
 
 	// Per-terminal flow lists and the total packet budget. Each iteration
@@ -342,7 +294,7 @@ func Run(cfg Config) (Result, error) {
 	// results, zero overhead beyond a nil check).
 	var fst *faults.State
 	if cfg.Faults.Len() > 0 {
-		st, err := faults.NewState(g, cfg.Faults, cfg.FaultPolicy, repairConfigOf(cfg.Paths), numVC)
+		st, err := faults.NewState(g, cfg.Faults, cfg.FaultPolicy, faults.RepairConfigOf(cfg.Paths), numVC)
 		if err != nil {
 			return Result{}, err
 		}
@@ -401,65 +353,22 @@ func Run(cfg Config) (Result, error) {
 		occ[link]--
 		occVC[int(link)*numVC+int(vc)]--
 	}
-	cost := func(p graph.Path) int {
-		h := p.Hops()
-		if h <= 0 {
-			return 0
-		}
-		return int(occ[g.LinkID(p[0], p[1])]) * h
+	// The routing engine sees appsim's congestion through the first-hop
+	// queue estimate and its path state through a View over the path DB
+	// and the fault tracker; choose wraps the per-run mechanism state.
+	// A nil path means no candidate survives the current failures (or the
+	// pair has no paths at all); the caller decides between erroring and
+	// dropping.
+	est := firstHopLoad{g: g, occ: occ}
+	view := routing.View{
+		Provider: cfg.Paths,
+		Faults:   fst,
+		NumNodes: g.NumNodes(),
+		MaxHops:  numVC,
 	}
-	// choose returns the selected path and its candidate index (-1 for
-	// same-switch traffic, which has no candidate set). A nil path means no
-	// candidate survives the current failures (or the pair has no paths at
-	// all); the caller decides between erroring and dropping.
+	mechState := mech.NewState()
 	choose := func(srcSw, dstSw graph.NodeID) (graph.Path, int) {
-		if srcSw == dstSw {
-			return graph.Path{srcSw}, -1
-		}
-		ps := cfg.Paths.Paths(srcSw, dstSw)
-		if fst != nil && fst.Active() {
-			live, mask := fst.Candidates(srcSw, dstSw, ps)
-			if mask == 0 {
-				return nil, -1
-			}
-			n := faults.PopCount(mask)
-			if n == 1 {
-				i := faults.FirstSet(mask)
-				return live[i], i
-			}
-			switch cfg.Mechanism {
-			case MechRandom:
-				i := faults.NthSet(mask, rng.IntN(n))
-				return live[i], i
-			case MechKSPAdaptive:
-				i, j := rng.TwoDistinct(n)
-				ii, jj := faults.NthSet(mask, i), faults.NthSet(mask, j)
-				a, b := live[ii], live[jj]
-				if cost(b) < cost(a) {
-					return b, jj
-				}
-				return a, ii
-			}
-		}
-		if len(ps) == 0 {
-			return nil, -1
-		}
-		if len(ps) == 1 {
-			return ps[0], 0
-		}
-		switch cfg.Mechanism {
-		case MechRandom:
-			i := rng.IntN(len(ps))
-			return ps[i], i
-		case MechKSPAdaptive:
-			i, j := rng.TwoDistinct(len(ps))
-			a, b := ps[i], ps[j]
-			if cost(b) < cost(a) {
-				return b, j
-			}
-			return a, i
-		}
-		panic(fmt.Sprintf("appsim: unknown mechanism %v", cfg.Mechanism))
+		return mechState.Choose(&view, srcSw, dstSw, est, rng)
 	}
 
 	// Because router/NIC delays are zero, channel traversal is immediate:
@@ -724,6 +633,9 @@ func Run(cfg Config) (Result, error) {
 						rrFlow[term] = int32(fi + 1)
 						break
 					}
+					if path.Hops() > numVC {
+						return res, fmt.Errorf("appsim: path with %d hops exceeds %d VCs", path.Hops(), numVC)
+					}
 					var link, vc int32
 					if path.Hops() == 0 {
 						link, vc = ejBase+f.dstTerm, 0
@@ -791,6 +703,23 @@ func Run(cfg Config) (Result, error) {
 		res.PathRepairs = repairs
 	}
 	return res, nil
+}
+
+// firstHopLoad backs routing.LoadEstimator with appsim's congestion
+// signal: the occupancy of a path's first network link times its hop
+// count (the same UGAL-style estimate flitsim computes from its credit
+// counters). Zero-hop (same switch) paths cost 0.
+type firstHopLoad struct {
+	g   *graph.Graph
+	occ []int32
+}
+
+func (e firstHopLoad) PathCost(p graph.Path) int {
+	h := p.Hops()
+	if h <= 0 {
+		return 0
+	}
+	return int(e.occ[e.g.LinkID(p[0], p[1])]) * h
 }
 
 // fifo is a slice-backed int32 queue (duplicated from flitsim to keep the

@@ -6,6 +6,7 @@ import (
 	"repro/internal/jellyfish"
 	"repro/internal/ksp"
 	"repro/internal/paths"
+	"repro/internal/routing"
 	"repro/internal/traffic"
 	"repro/internal/xrand"
 )
@@ -30,7 +31,7 @@ func TestSingleFlowSerializationBound(t *testing.T) {
 	cfg := Config{
 		Topo:        topo,
 		Paths:       pdb(topo, ksp.KSP, 2),
-		Mechanism:   MechRandom,
+		Mechanism:   routing.Random(),
 		Flows:       []traffic.SizedFlow{{Src: 0, Dst: topo.NumTerminals() - 1, Bytes: 100 * 1500}},
 		PacketBytes: 1500,
 	}
@@ -55,7 +56,7 @@ func TestSameSwitchFlow(t *testing.T) {
 	cfg := Config{
 		Topo:      topo,
 		Paths:     pdb(topo, ksp.KSP, 2),
-		Mechanism: MechRandom,
+		Mechanism: routing.Random(),
 		Flows:     []traffic.SizedFlow{{Src: 0, Dst: 1, Bytes: 10 * 1500}},
 	}
 	res, err := Run(cfg)
@@ -72,7 +73,7 @@ func TestPartialPacketRoundsUp(t *testing.T) {
 	cfg := Config{
 		Topo:      topo,
 		Paths:     pdb(topo, ksp.KSP, 2),
-		Mechanism: MechRandom,
+		Mechanism: routing.Random(),
 		Flows:     []traffic.SizedFlow{{Src: 0, Dst: 4, Bytes: 1501}},
 	}
 	res, err := Run(cfg)
@@ -103,7 +104,7 @@ func TestStencilWorkloadCompletes(t *testing.T) {
 	w := traffic.Stencil(traffic.StencilConfig{
 		Kind: traffic.Stencil2DNN, Ranks: topo.NumTerminals(), TotalBytes: 60 * 1500,
 	})
-	for _, mech := range []Mechanism{MechRandom, MechKSPAdaptive} {
+	for _, mech := range []routing.Mechanism{routing.Random(), routing.KSPAdaptive()} {
 		cfg := Config{
 			Topo:      topo,
 			Paths:     pdb(topo, ksp.REDKSP, 4),
@@ -113,15 +114,15 @@ func TestStencilWorkloadCompletes(t *testing.T) {
 		}
 		res, err := Run(cfg)
 		if err != nil {
-			t.Fatalf("%v: %v", mech, err)
+			t.Fatalf("%s: %v", mech.Name(), err)
 		}
 		wantPkts := int64(topo.NumTerminals()) * 60
 		if res.Packets != wantPkts {
-			t.Fatalf("%v: packets = %d, want %d", mech, res.Packets, wantPkts)
+			t.Fatalf("%s: packets = %d, want %d", mech.Name(), res.Packets, wantPkts)
 		}
 		// Lower bound: each terminal serializes 60 packets.
 		if res.Cycles < 60 {
-			t.Fatalf("%v: cycles = %d below serialization bound", mech, res.Cycles)
+			t.Fatalf("%s: cycles = %d below serialization bound", mech.Name(), res.Cycles)
 		}
 	}
 }
@@ -135,7 +136,7 @@ func TestDeterminism(t *testing.T) {
 		res, err := Run(Config{
 			Topo:      topo,
 			Paths:     paths.NewDB(topo.G, ksp.Config{Alg: ksp.REDKSP, K: 4}, 9),
-			Mechanism: MechKSPAdaptive,
+			Mechanism: routing.KSPAdaptive(),
 			Flows:     w.Apply(traffic.LinearMapping(topo.NumTerminals())),
 			Seed:      11,
 		})
@@ -162,14 +163,14 @@ func TestAdaptiveNotSlowerThanRandomOnAverage(t *testing.T) {
 	flows := w.Apply(traffic.RandomMapping(topo.NumTerminals(), xrand.New(3)))
 	var sumRand, sumAda int64
 	for seed := uint64(0); seed < 3; seed++ {
-		for _, m := range []Mechanism{MechRandom, MechKSPAdaptive} {
+		for _, m := range []routing.Mechanism{routing.Random(), routing.KSPAdaptive()} {
 			res, err := Run(Config{
 				Topo: topo, Paths: db, Mechanism: m, Flows: flows, Seed: seed,
 			})
 			if err != nil {
 				t.Fatal(err)
 			}
-			if m == MechRandom {
+			if m.Name() == "Random" {
 				sumRand += res.Cycles
 			} else {
 				sumAda += res.Cycles
@@ -186,7 +187,7 @@ func TestMaxCyclesGuard(t *testing.T) {
 	cfg := Config{
 		Topo:      topo,
 		Paths:     pdb(topo, ksp.KSP, 2),
-		Mechanism: MechRandom,
+		Mechanism: routing.Random(),
 		Flows:     []traffic.SizedFlow{{Src: 0, Dst: 4, Bytes: 1000 * 1500}},
 		MaxCycles: 10,
 	}
@@ -205,7 +206,7 @@ func TestFlowCompletionTracking(t *testing.T) {
 	cfg := Config{
 		Topo:       topo,
 		Paths:      pdb(topo, ksp.KSP, 2),
-		Mechanism:  MechRandom,
+		Mechanism:  routing.Random(),
 		Flows:      flows,
 		TrackFlows: true,
 	}
@@ -240,24 +241,12 @@ func TestFlowCompletionTracking(t *testing.T) {
 	}
 }
 
-func TestMechanismNames(t *testing.T) {
-	if MechRandom.String() != "random" || MechKSPAdaptive.String() != "KSP-adaptive" {
-		t.Fatal("names wrong")
-	}
-	if m, err := MechanismByName("KSP-adaptive"); err != nil || m != MechKSPAdaptive {
-		t.Fatal("ByName failed")
-	}
-	if _, err := MechanismByName("x"); err == nil {
-		t.Fatal("bogus accepted")
-	}
-}
-
 func TestSelfAndZeroByteFlowsIgnored(t *testing.T) {
 	topo := jelly(t, 8, 6, 4, 1)
 	res, err := Run(Config{
 		Topo:      topo,
 		Paths:     pdb(topo, ksp.KSP, 2),
-		Mechanism: MechRandom,
+		Mechanism: routing.Random(),
 		Flows: []traffic.SizedFlow{
 			{Src: 2, Dst: 2, Bytes: 1500},
 			{Src: 0, Dst: 4, Bytes: 0},
@@ -285,7 +274,7 @@ func TestIterations(t *testing.T) {
 	base := Config{
 		Topo:      topo,
 		Paths:     pdb(topo, ksp.KSP, 2),
-		Mechanism: MechRandom,
+		Mechanism: routing.Random(),
 		Flows:     []traffic.SizedFlow{{Src: 0, Dst: 4, Bytes: 20 * 1500}},
 		Seed:      3,
 	}

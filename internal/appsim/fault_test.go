@@ -8,7 +8,9 @@ import (
 	"repro/internal/graph"
 	"repro/internal/jellyfish"
 	"repro/internal/ksp"
+	"repro/internal/routing"
 	"repro/internal/traffic"
+	"repro/internal/xrand"
 )
 
 // termOn returns some terminal attached to the given switch.
@@ -30,7 +32,7 @@ func TestFaultEmptyScheduleBitIdentical(t *testing.T) {
 		Kind: traffic.Stencil2DNN, Ranks: topo.NumTerminals(), TotalBytes: 40 * 1500,
 	})
 	flows := w.Apply(traffic.LinearMapping(topo.NumTerminals()))
-	for _, mech := range []Mechanism{MechRandom, MechKSPAdaptive} {
+	for _, mech := range []routing.Mechanism{routing.Random(), routing.KSPAdaptive()} {
 		base := Config{
 			Topo:       topo,
 			Paths:      pdb(topo, ksp.REDKSP, 4),
@@ -56,11 +58,11 @@ func TestFaultEmptyScheduleBitIdentical(t *testing.T) {
 		for name, cfg := range map[string]Config{"nil": withNil, "empty": withEmpty} {
 			got, err := Run(cfg)
 			if err != nil {
-				t.Fatalf("%v %s: %v", mech, name, err)
+				t.Fatalf("%s %s: %v", mech.Name(), name, err)
 			}
 			if !reflect.DeepEqual(got, ref) {
-				t.Fatalf("%v: %s schedule changed the Result:\n got %+v\nwant %+v",
-					mech, name, got, ref)
+				t.Fatalf("%s: %s schedule changed the Result:\n got %+v\nwant %+v",
+					mech.Name(), name, got, ref)
 			}
 		}
 	}
@@ -82,7 +84,7 @@ func TestFaultDropDrains(t *testing.T) {
 	cfg := Config{
 		Topo:        topo,
 		Paths:       db,
-		Mechanism:   MechRandom,
+		Mechanism:   routing.Random(),
 		Flows:       []traffic.SizedFlow{{Src: termOn(topo, srcSw), Dst: termOn(topo, dstSw), Bytes: totalPkts * 1500}},
 		Faults:      sched,
 		FaultPolicy: faults.Policy{Drop: true, NoRepair: true},
@@ -129,7 +131,7 @@ func TestFaultRerouteCompletes(t *testing.T) {
 	cfg := Config{
 		Topo:      topo,
 		Paths:     db,
-		Mechanism: MechKSPAdaptive,
+		Mechanism: routing.KSPAdaptive(),
 		Flows:     []traffic.SizedFlow{{Src: termOn(topo, srcSw), Dst: termOn(topo, dstSw), Bytes: totalPkts * 1500}},
 		Seed:      5,
 		Faults:    sched,
@@ -172,7 +174,7 @@ func TestFaultRepairCompletes(t *testing.T) {
 	cfg := Config{
 		Topo:      topo,
 		Paths:     db,
-		Mechanism: MechKSPAdaptive,
+		Mechanism: routing.KSPAdaptive(),
 		Flows:     []traffic.SizedFlow{{Src: termOn(topo, srcSw), Dst: termOn(topo, dstSw), Bytes: totalPkts * 1500}},
 		Seed:      9,
 		Faults:    faults.MustSchedule(evs),
@@ -204,7 +206,7 @@ func TestFaultUnroutableFlowDrains(t *testing.T) {
 	cfg := Config{
 		Topo:        topo,
 		Paths:       db,
-		Mechanism:   MechRandom,
+		Mechanism:   routing.Random(),
 		Flows:       []traffic.SizedFlow{{Src: termOn(topo, srcSw), Dst: termOn(topo, dstSw), Bytes: totalPkts * 1500}},
 		Faults:      sched,
 		FaultPolicy: faults.Policy{NoRepair: true},
@@ -222,13 +224,78 @@ func TestFaultUnroutableFlowDrains(t *testing.T) {
 	}
 }
 
+// liveOnlyMech wraps a routing.Mechanism so every choice made through it
+// is audited: while faults are active, a selected path crossing a failed
+// link fails the test. The wrapped state does the real choosing, so the
+// audit covers both injection-time choices and reroutes of caught packets.
+type liveOnlyMech struct {
+	routing.Mechanism
+	t *testing.T
+}
+
+func (m liveOnlyMech) NewState() routing.State {
+	return liveOnlyState{inner: m.Mechanism.NewState(), name: m.Name(), t: m.t}
+}
+
+type liveOnlyState struct {
+	inner routing.State
+	name  string
+	t     *testing.T
+}
+
+func (s liveOnlyState) Choose(v *routing.View, src, dst graph.NodeID, load routing.LoadEstimator, rng *xrand.RNG) (graph.Path, int) {
+	p, idx := s.inner.Choose(v, src, dst, load, rng)
+	if p != nil && v.Faults != nil && v.Faults.Active() && !v.Faults.PathAlive(p) {
+		s.t.Errorf("%s selected dead path %v for %d->%d", s.name, p, src, dst)
+	}
+	return p, idx
+}
+
+// TestFaultMechanismsAvoidDeadPaths kills four random links mid-run and
+// checks, mechanism by mechanism, that no selection made while the faults
+// are active crosses a failed link: the live-candidate masks must gate
+// every injection-time choice and every reroute.
+func TestFaultMechanismsAvoidDeadPaths(t *testing.T) {
+	topo := jelly(t, 16, 8, 6, 7)
+	sched, err := faults.Random(topo.G, 4, 40, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := traffic.Stencil(traffic.StencilConfig{
+		Kind: traffic.Stencil2DNN, Ranks: topo.NumTerminals(), TotalBytes: 40 * 1500,
+	})
+	flows := w.Apply(traffic.LinearMapping(topo.NumTerminals()))
+	for _, mech := range append(routing.Mechanisms(), routing.SP()) {
+		t.Run(mech.Name(), func(t *testing.T) {
+			cfg := Config{
+				Topo:      topo,
+				Paths:     pdb(topo, ksp.REDKSP, 4),
+				Mechanism: liveOnlyMech{Mechanism: mech, t: t},
+				Flows:     flows,
+				Seed:      31,
+				Faults:    sched,
+			}
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.FaultEvents == 0 {
+				t.Fatal("schedule did not fire")
+			}
+			if res.Packets == 0 {
+				t.Fatal("no traffic delivered")
+			}
+		})
+	}
+}
+
 // TestFaultConfigValidation covers Validate and schedule checking.
 func TestFaultConfigValidation(t *testing.T) {
 	topo := jelly(t, 8, 6, 4, 1)
 	good := Config{
 		Topo:      topo,
 		Paths:     pdb(topo, ksp.KSP, 2),
-		Mechanism: MechRandom,
+		Mechanism: routing.Random(),
 		Flows:     []traffic.SizedFlow{{Src: 0, Dst: 4, Bytes: 1500}},
 	}
 	if _, err := Run(good); err != nil {
@@ -247,7 +314,6 @@ func TestFaultConfigValidation(t *testing.T) {
 	mutate := map[string]func(*Config){
 		"no topo":        func(c *Config) { c.Topo = nil },
 		"no paths":       func(c *Config) { c.Paths = nil },
-		"bad mechanism":  func(c *Config) { c.Mechanism = Mechanism(9) },
 		"neg bytes":      func(c *Config) { c.PacketBytes = -1 },
 		"neg bandwidth":  func(c *Config) { c.LinkBandwidth = -1 },
 		"neg buf":        func(c *Config) { c.BufDepth = -1 },

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/ksp"
+	"repro/internal/routing"
 	"repro/internal/telemetry"
 	"repro/internal/traffic"
 )
@@ -24,7 +25,7 @@ func TestTelemetryReconciles(t *testing.T) {
 	res, err := Run(Config{
 		Topo:      topo,
 		Paths:     pdb(topo, ksp.REDKSP, 4),
-		Mechanism: MechKSPAdaptive,
+		Mechanism: routing.KSPAdaptive(),
 		Flows:     flows,
 		Seed:      5,
 		Telemetry: col,
@@ -75,7 +76,7 @@ func TestTelemetryOffIdentical(t *testing.T) {
 	base := Config{
 		Topo:      topo,
 		Paths:     pdb(topo, ksp.RKSP, 4),
-		Mechanism: MechKSPAdaptive,
+		Mechanism: routing.KSPAdaptive(),
 		Flows:     flows,
 		Seed:      9,
 	}

@@ -1,0 +1,68 @@
+// Package cliflags centralizes the flag wiring shared by the jfnet,
+// jfapp and jfflit front ends: the -mechanism flag (parsed through the
+// unified routing.ByName), the -telemetry/-selector pair, and the
+// -faults/-fault-policy pair. A new mechanism name, fault policy or
+// telemetry knob then lands in one place instead of three.
+//
+// All helpers register on the process-wide flag.CommandLine, matching
+// how the cmd/ binaries define their remaining flags; call them before
+// flag.Parse.
+package cliflags
+
+import (
+	"flag"
+
+	"repro/internal/routing"
+)
+
+// Mechanism registers the shared -mechanism flag with the given default
+// (a canonical name accepted by routing.ByName, e.g. "ksp-adaptive").
+func Mechanism(def string) *string {
+	return flag.String("mechanism", def,
+		"routing mechanism: sp, random, round-robin, ugal, ksp-ugal or ksp-adaptive")
+}
+
+// ResolveMechanism parses a -mechanism value through routing.ByName, so
+// every binary accepts the same name set and emits the same error
+// listing the valid names.
+func ResolveMechanism(name string) (routing.Mechanism, error) {
+	return routing.ByName(name)
+}
+
+// Telemetry is the flag pair behind instrumented single runs.
+type Telemetry struct {
+	// Dir is the -telemetry export directory ("" = telemetry off).
+	Dir *string
+	// Selector is the -selector path-selection scheme name.
+	Selector *string
+}
+
+// TelemetryFlags registers -telemetry and -selector. runDesc describes
+// the instrumented run in the -telemetry usage string (e.g. "one
+// instrumented flit-level simulation").
+func TelemetryFlags(runDesc string) Telemetry {
+	return Telemetry{
+		Dir: flag.String("telemetry", "",
+			"run "+runDesc+" and write telemetry files to this directory"),
+		Selector: flag.String("selector", "rEDKSP",
+			"path selector for -telemetry: KSP, rKSP, EDKSP or rEDKSP"),
+	}
+}
+
+// Faults is the flag pair behind fault injection.
+type Faults struct {
+	// Spec is the -faults schedule spec ("" = no faults).
+	Spec *string
+	// Policy is the -fault-policy name.
+	Policy *string
+}
+
+// FaultFlags registers -faults and -fault-policy.
+func FaultFlags() Faults {
+	return Faults{
+		Spec: flag.String("faults", "",
+			"fault schedule: none, random:<n>@<cycle>[,...] or a schedule file (see docs/FAULTS.md)"),
+		Policy: flag.String("fault-policy", "reroute",
+			"fault policy: reroute, drop, reroute-norepair or drop-norepair"),
+	}
+}

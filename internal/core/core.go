@@ -26,6 +26,7 @@ import (
 	"repro/internal/ksp"
 	"repro/internal/model"
 	"repro/internal/paths"
+	"repro/internal/routing"
 	"repro/internal/traffic"
 	"repro/internal/xrand"
 )
@@ -135,7 +136,7 @@ func (n *Network) ModelThroughputSinglePath(pat traffic.Pattern) model.Result {
 // SimOptions configures a cycle-level simulation run over the network.
 type SimOptions struct {
 	// Mechanism is the routing mechanism (default KSP-adaptive).
-	Mechanism flitsim.Mechanism
+	Mechanism routing.Mechanism
 	// Traffic is the per-packet destination sampler (required).
 	Traffic traffic.Sampler
 	// InjectionRate is the offered load in [0, 1].
@@ -161,7 +162,7 @@ func (n *Network) SaturationThroughput(o SimOptions, rates []float64) (float64, 
 
 func (n *Network) simConfig(o SimOptions) flitsim.Config {
 	if o.Mechanism == nil {
-		o.Mechanism = flitsim.KSPAdaptive()
+		o.Mechanism = routing.KSPAdaptive()
 	}
 	if o.Seed == 0 {
 		o.Seed = n.opts.Seed
@@ -186,7 +187,7 @@ func (n *Network) simConfig(o SimOptions) flitsim.Config {
 // AppOptions configures a workload replay.
 type AppOptions struct {
 	// Mechanism is the per-packet choice (default KSP-adaptive).
-	Mechanism appsim.Mechanism
+	Mechanism routing.Mechanism
 	// Seed drives the run (default: network seed).
 	Seed uint64
 	// PacketBytes, LinkBandwidth, BufDepth default to the paper's CODES

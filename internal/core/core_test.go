@@ -3,10 +3,10 @@ package core
 import (
 	"testing"
 
-	"repro/internal/appsim"
 	"repro/internal/flitsim"
 	"repro/internal/jellyfish"
 	"repro/internal/ksp"
+	"repro/internal/routing"
 	"repro/internal/traffic"
 	"repro/internal/xrand"
 )
@@ -122,7 +122,7 @@ func TestSaturationFacade(t *testing.T) {
 	n := testNet(t, Options{Seed: 5, K: 4})
 	sat, results := n.SaturationThroughput(SimOptions{
 		Traffic:   traffic.Uniform{N: n.Topology().NumTerminals()},
-		Mechanism: flitsim.KSPAdaptive(),
+		Mechanism: routing.KSPAdaptive(),
 	}, flitsim.Rates(0.2, 1.0, 0.2))
 	if len(results) != 5 || sat < 0.2 {
 		t.Fatalf("sat = %v, results = %d", sat, len(results))
@@ -143,10 +143,11 @@ func TestReplayWorkloadFacade(t *testing.T) {
 	if res.Packets != int64(n.Topology().NumTerminals())*32 {
 		t.Fatalf("packets = %d", res.Packets)
 	}
-	// Default mechanism is the paper's recommendation.
+	// A nil mechanism defaults to the paper's recommendation inside
+	// appsim.Run; the options struct passes it through unchanged.
 	var def AppOptions
-	if def.Mechanism != appsim.MechKSPAdaptive {
-		t.Fatal("default app mechanism is not KSP-adaptive")
+	if def.Mechanism != nil {
+		t.Fatal("default app mechanism should be nil (KSP-adaptive inside appsim)")
 	}
 }
 

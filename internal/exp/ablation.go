@@ -9,6 +9,7 @@ import (
 	"repro/internal/ksp"
 	"repro/internal/model"
 	"repro/internal/paths"
+	"repro/internal/routing"
 	"repro/internal/stats"
 	"repro/internal/traffic"
 	"repro/internal/xrand"
@@ -105,8 +106,8 @@ func AblationUGALBias(params jellyfish.Params, biases []int, rates []float64, sc
 	res.Sat = make([][]float64, len(biases))
 	for bi, bias := range biases {
 		res.Sat[bi] = make([]float64, 2)
-		for mi, mech := range []flitsim.Mechanism{
-			flitsim.VanillaUGALBiased(bias), flitsim.KSPUGALBiased(bias),
+		for mi, mech := range []routing.Mechanism{
+			routing.VanillaUGALBiased(bias), routing.KSPUGALBiased(bias),
 		} {
 			base := flitsim.Config{
 				Topo:      topo,

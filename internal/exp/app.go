@@ -8,6 +8,7 @@ import (
 	"repro/internal/jellyfish"
 	"repro/internal/ksp"
 	"repro/internal/paths"
+	"repro/internal/routing"
 	"repro/internal/stats"
 	"repro/internal/traffic"
 	"repro/internal/xrand"
@@ -23,7 +24,7 @@ type AppConfig struct {
 	// paper's setting).
 	BytesPerRank int64
 	// Mechanism is the per-packet routing mechanism (default KSP-adaptive).
-	Mechanism appsim.Mechanism
+	Mechanism routing.Mechanism
 	// Stencils to run (default all four).
 	Stencils []traffic.StencilKind
 	// Selectors to compare (default rEDKSP, KSP, rKSP — the paper's

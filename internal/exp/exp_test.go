@@ -5,10 +5,10 @@ import (
 	"strings"
 	"testing"
 
-	"repro/internal/appsim"
 	"repro/internal/flitsim"
 	"repro/internal/jellyfish"
 	"repro/internal/ksp"
+	"repro/internal/routing"
 )
 
 // tiny is a test-sized Jellyfish keeping the paper's ~2:1 ratio of network
@@ -170,7 +170,7 @@ func TestFlitLatencyCurve(t *testing.T) {
 		Pattern: "uniform",
 		Rates:   []float64{0.1, 0.5, 1.0},
 	}
-	res, err := FlitLatencyCurve(cfg, flitsim.KSPAdaptive(), tinyScale())
+	res, err := FlitLatencyCurve(cfg, routing.KSPAdaptive(), tinyScale())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +196,7 @@ func TestAppCommTimes(t *testing.T) {
 			Params:       tiny,
 			Mapping:      mapping,
 			BytesPerRank: 100 * 1500, // keep runtime small
-			Mechanism:    appsim.MechKSPAdaptive,
+			Mechanism:    routing.KSPAdaptive(),
 		}, tinyScale())
 		if err != nil {
 			t.Fatalf("%s: %v", mapping, err)

@@ -10,6 +10,7 @@ import (
 	"repro/internal/ksp"
 	"repro/internal/par"
 	"repro/internal/paths"
+	"repro/internal/routing"
 	"repro/internal/stats"
 	"repro/internal/xrand"
 )
@@ -217,7 +218,7 @@ type FaultRunResult struct {
 func FaultRun(cfg FaultRunConfig, sc Scale) (*FaultRunResult, error) {
 	cfg = cfg.withDefaults()
 	sc = sc.withDefaults()
-	mechs := flitsim.Mechanisms()
+	mechs := routing.Mechanisms()
 	res := &FaultRunResult{
 		Config:      cfg,
 		Selectors:   SelectorNames(false),

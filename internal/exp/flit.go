@@ -10,6 +10,7 @@ import (
 	"repro/internal/ksp"
 	"repro/internal/par"
 	"repro/internal/paths"
+	"repro/internal/routing"
 	"repro/internal/stats"
 	"repro/internal/traffic"
 	"repro/internal/xrand"
@@ -63,7 +64,7 @@ type SaturationResult struct {
 func FlitSaturation(cfg FlitConfig, sc Scale) (*SaturationResult, error) {
 	cfg = cfg.withDefaults()
 	sc = sc.withDefaults()
-	mechs := flitsim.Mechanisms()
+	mechs := routing.Mechanisms()
 	res := &SaturationResult{Config: cfg, Selectors: SelectorNames(false)}
 	for _, m := range mechs {
 		res.Mechanisms = append(res.Mechanisms, m.Name())
@@ -196,7 +197,7 @@ type CurveResult struct {
 
 // FlitLatencyCurve reproduces one of Figures 11-13: latency-versus-load
 // curves for all four selectors under one routing mechanism.
-func FlitLatencyCurve(cfg FlitConfig, mech flitsim.Mechanism, sc Scale) (*CurveResult, error) {
+func FlitLatencyCurve(cfg FlitConfig, mech routing.Mechanism, sc Scale) (*CurveResult, error) {
 	cfg = cfg.withDefaults()
 	sc = sc.withDefaults()
 	res := &CurveResult{

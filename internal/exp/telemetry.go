@@ -10,6 +10,7 @@ import (
 	"repro/internal/jellyfish"
 	"repro/internal/ksp"
 	"repro/internal/paths"
+	"repro/internal/routing"
 	"repro/internal/telemetry"
 	"repro/internal/traffic"
 	"repro/internal/xrand"
@@ -27,7 +28,7 @@ type FlitTelemetryConfig struct {
 	// Selector is the path-selection scheme.
 	Selector ksp.Algorithm
 	// Mechanism is the per-packet routing mechanism.
-	Mechanism flitsim.Mechanism
+	Mechanism routing.Mechanism
 	// Pattern is "permutation", "shift" or "uniform".
 	Pattern string
 	// Rate is the offered load in [0, 1].
@@ -52,7 +53,7 @@ func FlitTelemetryRun(cfg FlitTelemetryConfig, sc Scale) (flitsim.Result, *telem
 		return zero, nil, telemetry.Manifest{}, fmt.Errorf("exp: injection rate %v outside (0, 1]", cfg.Rate)
 	}
 	if cfg.Mechanism == nil {
-		cfg.Mechanism = flitsim.KSPAdaptive()
+		cfg.Mechanism = routing.KSPAdaptive()
 	}
 	topo, err := sc.buildTopo(cfg.Params, 0)
 	if err != nil {
@@ -112,7 +113,7 @@ type AppTelemetryConfig struct {
 	// Selector is the path-selection scheme.
 	Selector ksp.Algorithm
 	// Mechanism is the per-packet routing mechanism.
-	Mechanism appsim.Mechanism
+	Mechanism routing.Mechanism
 	// Stencil is the workload kind.
 	Stencil traffic.StencilKind
 	// Mapping is "linear" or "random".
@@ -131,6 +132,9 @@ type AppTelemetryConfig struct {
 func AppTelemetryRun(cfg AppTelemetryConfig, sc Scale) (appsim.Result, *telemetry.Collector, telemetry.Manifest, error) {
 	sc = sc.withDefaults()
 	var zero appsim.Result
+	if cfg.Mechanism == nil {
+		cfg.Mechanism = routing.KSPAdaptive()
+	}
 	if cfg.BytesPerRank == 0 {
 		cfg.BytesPerRank = traffic.DefaultTotalBytes
 	}
@@ -181,7 +185,7 @@ func AppTelemetryRun(cfg AppTelemetryConfig, sc Scale) (appsim.Result, *telemetr
 		X:         cfg.Params.X,
 		Y:         cfg.Params.Y,
 		Selector:  cfg.Selector.String(),
-		Mechanism: cfg.Mechanism.String(),
+		Mechanism: cfg.Mechanism.Name(),
 		Mapping:   cfg.Mapping,
 		Stencil:   cfg.Stencil.String(),
 		K:         sc.K,

@@ -19,6 +19,24 @@ type RepairConfig struct {
 	Seed uint64
 }
 
+// repairSource is implemented by path providers (paths.DB) that can tell
+// the fault machinery how to recompute a pair's set on a degraded graph.
+type repairSource interface {
+	Config() ksp.Config
+	Seed() uint64
+}
+
+// RepairConfigOf extracts a repair recipe from a path provider, or nil
+// when the provider cannot supply one (repair is then disabled). Both
+// simulators call it when attaching a fault schedule.
+func RepairConfigOf(p any) *RepairConfig {
+	src, ok := p.(repairSource)
+	if !ok {
+		return nil
+	}
+	return &RepairConfig{KSP: src.Config(), Seed: src.Seed()}
+}
+
 // State is one simulation run's fault tracker. It applies a Schedule's
 // events as the clock advances and answers, in O(1) on the hot path,
 // whether a directed link is down and which of a pair's candidate paths

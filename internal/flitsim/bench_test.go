@@ -6,6 +6,7 @@ import (
 	"repro/internal/jellyfish"
 	"repro/internal/ksp"
 	"repro/internal/paths"
+	"repro/internal/routing"
 	"repro/internal/telemetry"
 	"repro/internal/traffic"
 	"repro/internal/xrand"
@@ -29,7 +30,7 @@ func benchFlit(b *testing.B, instrumented bool) {
 		cfg := Config{
 			Topo:          topo,
 			Paths:         pdb,
-			Mechanism:     KSPAdaptive(),
+			Mechanism:     routing.KSPAdaptive(),
 			Traffic:       traffic.Uniform{N: topo.NumTerminals()},
 			InjectionRate: 0.5,
 			Seed:          uint64(i) + 1,

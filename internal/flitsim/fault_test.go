@@ -8,6 +8,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/jellyfish"
 	"repro/internal/ksp"
+	"repro/internal/routing"
 	"repro/internal/traffic"
 	"repro/internal/xrand"
 )
@@ -28,7 +29,7 @@ func (f singleFlow) Dest(src int, _ *xrand.RNG) (int, bool) {
 // Result bit-identical to a run without any fault configuration.
 func TestFaultEmptyScheduleBitIdentical(t *testing.T) {
 	topo := jelly(t, 12, 6, 4, 3)
-	for _, mech := range Mechanisms() {
+	for _, mech := range routing.Mechanisms() {
 		base := Config{
 			Topo:          topo,
 			Paths:         db(topo, ksp.REDKSP, 4),
@@ -95,7 +96,7 @@ func TestFaultRecoveryVsSPCollapse(t *testing.T) {
 	}
 	multi := base
 	multi.Paths = mdb
-	multi.Mechanism = KSPAdaptive()
+	multi.Mechanism = routing.KSPAdaptive()
 	multi.Faults = sched
 
 	sim, err := NewSim(multi)
@@ -131,7 +132,7 @@ func TestFaultRecoveryVsSPCollapse(t *testing.T) {
 	}
 	single := base
 	single.Paths = sdb
-	single.Mechanism = SP()
+	single.Mechanism = routing.SP()
 	single.Faults = ssched
 	single.FaultPolicy = faults.Policy{Drop: true, NoRepair: true}
 
@@ -175,7 +176,7 @@ func TestFaultRepairRecovers(t *testing.T) {
 	cfg := Config{
 		Topo:          topo,
 		Paths:         pdb,
-		Mechanism:     KSPAdaptive(),
+		Mechanism:     routing.KSPAdaptive(),
 		Traffic:       singleFlow{src: termOn(topo, srcSw), dst: termOn(topo, dstSw)},
 		InjectionRate: 1.0,
 		Seed:          13,
@@ -209,7 +210,7 @@ func TestFaultLinkUpRestores(t *testing.T) {
 	cfg := Config{
 		Topo:          topo,
 		Paths:         pdb,
-		Mechanism:     SP(),
+		Mechanism:     routing.SP(),
 		Traffic:       singleFlow{src: termOn(topo, srcSw), dst: termOn(topo, dstSw)},
 		InjectionRate: 1.0,
 		Seed:          17,
@@ -230,13 +231,73 @@ func TestFaultLinkUpRestores(t *testing.T) {
 	}
 }
 
+// liveOnlyMech wraps a routing.Mechanism so every choice made through it
+// is audited: while faults are active, a selected path crossing a failed
+// link fails the test. It exercises the real Mechanism code (the wrapped
+// state does the choosing) on both the injection and reroute paths.
+type liveOnlyMech struct {
+	routing.Mechanism
+	t *testing.T
+}
+
+func (m liveOnlyMech) NewState() routing.State {
+	return liveOnlyState{inner: m.Mechanism.NewState(), name: m.Name(), t: m.t}
+}
+
+type liveOnlyState struct {
+	inner routing.State
+	name  string
+	t     *testing.T
+}
+
+func (s liveOnlyState) Choose(v *routing.View, src, dst graph.NodeID, load routing.LoadEstimator, rng *xrand.RNG) (graph.Path, int) {
+	p, idx := s.inner.Choose(v, src, dst, load, rng)
+	if p != nil && v.Faults != nil && v.Faults.Active() && !v.Faults.PathAlive(p) {
+		s.t.Errorf("%s selected dead path %v for %d->%d", s.name, p, src, dst)
+	}
+	return p, idx
+}
+
+// TestFaultMechanismsAvoidDeadPaths kills four random links mid-run and
+// checks, mechanism by mechanism, that no selection made while the faults
+// are active crosses a failed link: the live-candidate masks must gate
+// every injection-time choice and every reroute.
+func TestFaultMechanismsAvoidDeadPaths(t *testing.T) {
+	topo := jelly(t, 16, 8, 6, 7)
+	sched, err := faults.Random(topo.G, 4, 1000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mech := range append(routing.Mechanisms(), routing.SP()) {
+		t.Run(mech.Name(), func(t *testing.T) {
+			cfg := Config{
+				Topo:          topo,
+				Paths:         db(topo, ksp.REDKSP, 4),
+				Mechanism:     liveOnlyMech{Mechanism: mech, t: t},
+				Traffic:       traffic.Uniform{N: topo.NumTerminals()},
+				InjectionRate: 0.3,
+				Seed:          23,
+				NumSamples:    4,
+				Faults:        sched,
+			}
+			res := New(cfg).Run()
+			if res.FaultEvents == 0 {
+				t.Fatal("schedule did not fire")
+			}
+			if res.Delivered == 0 {
+				t.Fatal("no traffic delivered")
+			}
+		})
+	}
+}
+
 // TestFaultConfigValidation covers the error-returning constructor.
 func TestFaultConfigValidation(t *testing.T) {
 	topo := jelly(t, 8, 6, 4, 1)
 	good := Config{
 		Topo:      topo,
 		Paths:     db(topo, ksp.KSP, 2),
-		Mechanism: SP(),
+		Mechanism: routing.SP(),
 		Traffic:   traffic.Uniform{N: topo.NumTerminals()},
 	}
 	if _, err := NewSim(good); err != nil {

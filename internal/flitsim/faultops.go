@@ -98,9 +98,9 @@ func (s *Sim) handleFaultPacket(id int32, cur graph.NodeID) {
 	dst := s.topo.SwitchOf(int(p.dstTerm))
 	var np graph.Path
 	if cur == dst {
-		np = sameSwitch(cur)
+		np = graph.Path{cur}
 	} else {
-		np = s.mech.choose(s, cur, dst, -1, p.dstTerm)
+		np, _ = s.choosePath(cur, dst)
 	}
 	if np == nil || np.Hops() > s.numVC {
 		s.dropPkt(id)
@@ -125,7 +125,7 @@ func (s *Sim) processReroutes() {
 		p := &s.pkts[id]
 		if p.path.Hops() > 0 && s.faults.LinkDown(s.g.LinkID(p.path[0], p.path[1])) {
 			dst := s.topo.SwitchOf(int(p.dstTerm))
-			np := s.mech.choose(s, p.path[0], dst, -1, p.dstTerm)
+			np, _ := s.choosePath(p.path[0], dst)
 			if np == nil || np.Hops() > s.numVC {
 				s.dropPkt(id)
 				continue

@@ -32,7 +32,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/graph"
 	"repro/internal/jellyfish"
-	"repro/internal/ksp"
+	"repro/internal/routing"
 	"repro/internal/telemetry"
 	"repro/internal/traffic"
 	"repro/internal/xrand"
@@ -50,8 +50,9 @@ type Config struct {
 	Topo *jellyfish.Topology
 	// Paths supplies the per-pair candidate paths.
 	Paths PathProvider
-	// Mechanism selects how a path is chosen per packet.
-	Mechanism Mechanism
+	// Mechanism selects how a path is chosen per packet (see
+	// internal/routing for the paper's six mechanisms and ByName).
+	Mechanism routing.Mechanism
 	// Traffic draws per-packet destinations.
 	Traffic traffic.Sampler
 	// InjectionRate is the offered load: the per-cycle probability that a
@@ -191,7 +192,8 @@ type Sim struct {
 	topo  *jellyfish.Topology
 	g     *graph.Graph
 	rng   *xrand.RNG
-	mech  mechanismState
+	mech  routing.State
+	view  routing.View
 	numVC int
 
 	// Link indexing: [0, L) network links (graph link ids), then
@@ -339,7 +341,7 @@ func NewSim(cfg Config) (*Sim, error) {
 		// near-minimal KSP paths only.
 		m := graph.ComputeMetrics(s.g, 0)
 		s.numVC = 2*int(m.Diameter) + 2
-		if cfg.Mechanism.usesNonMinimal() {
+		if cfg.Mechanism.NonMinimal() {
 			s.numVC = 3*int(m.Diameter) + 2
 		}
 	}
@@ -359,7 +361,7 @@ func NewSim(cfg Config) (*Sim, error) {
 	s.free = -1
 	s.latHist = make([]int64, int(cfg.SatLatency)*4+1)
 	s.srcQueue = make([]fifo, s.numTerm)
-	s.mech = cfg.Mechanism.newState(s)
+	s.mech = cfg.Mechanism.NewState()
 	if cfg.Telemetry != nil {
 		s.tel = cfg.Telemetry
 		links := make([]telemetry.LinkInfo, nLinks)
@@ -373,37 +375,27 @@ func NewSim(cfg Config) (*Sim, error) {
 			links[s.ejLink(int32(term))] = telemetry.LinkInfo{Kind: telemetry.KindEject, Src: sw, Dst: term}
 		}
 		s.tel.Init(telemetry.Config{
-			Links:      links,
-			LatencyCap: int64(cfg.SatLatency) * 4,
-			QueueCap:   int64(cfg.BufDepth) * int64(s.numVC),
+			Links:       links,
+			LatencyCap:  int64(cfg.SatLatency) * 4,
+			QueueCap:    int64(cfg.BufDepth) * int64(s.numVC),
+			PathChoices: 32,
 		})
 	}
 	if cfg.Faults.Len() > 0 {
-		st, err := faults.NewState(s.g, cfg.Faults, cfg.FaultPolicy, repairConfigOf(cfg.Paths), s.numVC)
+		st, err := faults.NewState(s.g, cfg.Faults, cfg.FaultPolicy, faults.RepairConfigOf(cfg.Paths), s.numVC)
 		if err != nil {
 			return nil, err
 		}
 		st.SetTelemetry(s.tel)
 		s.faults = st
 	}
-	return s, nil
-}
-
-// repairSource is implemented by path providers (paths.DB) that can tell
-// the fault machinery how to recompute a pair's set on a degraded graph.
-type repairSource interface {
-	Config() ksp.Config
-	Seed() uint64
-}
-
-// repairConfigOf extracts a repair recipe from the path provider, or nil
-// when the provider cannot supply one (repair is then disabled).
-func repairConfigOf(p PathProvider) *faults.RepairConfig {
-	src, ok := p.(repairSource)
-	if !ok {
-		return nil
+	s.view = routing.View{
+		Provider: cfg.Paths,
+		Faults:   s.faults,
+		NumNodes: s.g.NumNodes(),
+		MaxHops:  s.numVC,
 	}
-	return &faults.RepairConfig{KSP: src.Config(), Seed: src.Seed()}
+	return s, nil
 }
 
 // Telemetry returns the attached collector (nil when telemetry is off).
@@ -423,15 +415,24 @@ func (s *Sim) QueueLen(u, v graph.NodeID) int {
 	return int(s.occ[id])
 }
 
-// pathCost is the UGAL-style latency estimate: the occupancy of the path's
-// first network link times the path's hop count. Zero-hop (same switch)
-// paths cost 0.
-func (s *Sim) pathCost(p graph.Path) int {
+// PathCost is the UGAL-style latency estimate: the committed occupancy of
+// the path's first network link times the path's hop count. Zero-hop
+// (same switch) paths cost 0. It implements routing.LoadEstimator, backing
+// the mechanisms with the credit/queue congestion signal.
+func (s *Sim) PathCost(p graph.Path) int {
 	h := p.Hops()
 	if h <= 0 {
 		return 0
 	}
 	return int(s.occ[s.g.LinkID(p[0], p[1])]) * h
+}
+
+// choosePath runs the configured mechanism for one packet from switch src
+// to switch dst, returning the chosen path and its candidate index (-1
+// for same-switch or composed paths; nil when faults severed every
+// candidate).
+func (s *Sim) choosePath(src, dst graph.NodeID) (graph.Path, int) {
+	return s.mech.Choose(&s.view, src, dst, s, s.rng)
 }
 
 func (s *Sim) allocPkt() int32 {
@@ -579,7 +580,8 @@ func (s *Sim) step(measuring bool, sampleLatSum *int64, sampleCount *int64) {
 		if p.path == nil {
 			src := s.topo.SwitchOf(int(term))
 			dst := s.topo.SwitchOf(int(p.dstTerm))
-			p.path = s.mech.choose(s, src, dst, term, p.dstTerm)
+			var choice int
+			p.path, choice = s.choosePath(src, dst)
 			if p.path == nil {
 				if s.faults != nil {
 					// Faults severed every candidate and repair found no
@@ -592,6 +594,9 @@ func (s *Sim) step(measuring bool, sampleLatSum *int64, sampleCount *int64) {
 			}
 			if p.path.Hops() > s.numVC {
 				panic(fmt.Sprintf("flitsim: path with %d hops exceeds %d VCs", p.path.Hops(), s.numVC))
+			}
+			if s.tel != nil && choice >= 0 {
+				s.tel.CountChoice(choice)
 			}
 		}
 		nextLink, nextVC := s.firstLinkOf(p)

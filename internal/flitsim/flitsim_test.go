@@ -7,6 +7,7 @@ import (
 	"repro/internal/jellyfish"
 	"repro/internal/ksp"
 	"repro/internal/paths"
+	"repro/internal/routing"
 	"repro/internal/traffic"
 	"repro/internal/xrand"
 )
@@ -54,7 +55,7 @@ func TestSinglePacketLatency(t *testing.T) {
 	cfg := Config{
 		Topo:      topo,
 		Paths:     db(topo, ksp.KSP, 1),
-		Mechanism: SP(),
+		Mechanism: routing.SP(),
 		Traffic:   &oneShot{src: 0, dst: 3},
 		// InjectionRate gates generation; the sampler fires once.
 		InjectionRate: 1,
@@ -79,7 +80,7 @@ func TestSameSwitchPacket(t *testing.T) {
 	cfg := Config{
 		Topo:          topo,
 		Paths:         db(topo, ksp.KSP, 1),
-		Mechanism:     SP(),
+		Mechanism:     routing.SP(),
 		Traffic:       &oneShot{src: 0, dst: 1},
 		InjectionRate: 1,
 		NumVCs:        4,
@@ -100,7 +101,7 @@ func TestConservation(t *testing.T) {
 	cfg := Config{
 		Topo:          topo,
 		Paths:         db(topo, ksp.REDKSP, 4),
-		Mechanism:     KSPAdaptive(),
+		Mechanism:     routing.KSPAdaptive(),
 		Traffic:       traffic.Uniform{N: topo.NumTerminals()},
 		InjectionRate: 0.3,
 		Seed:          7,
@@ -122,7 +123,7 @@ func TestDeterminism(t *testing.T) {
 		return New(Config{
 			Topo:          topo,
 			Paths:         paths.NewDB(topo.G, ksp.Config{Alg: ksp.REDKSP, K: 4}, 11),
-			Mechanism:     KSPAdaptive(),
+			Mechanism:     routing.KSPAdaptive(),
 			Traffic:       traffic.Uniform{N: topo.NumTerminals()},
 			InjectionRate: 0.4,
 			Seed:          21,
@@ -141,7 +142,7 @@ func TestLowLoadNotSaturatedHighLoadSaturated(t *testing.T) {
 		return New(Config{
 			Topo:          topo,
 			Paths:         pdb,
-			Mechanism:     SP(),
+			Mechanism:     routing.SP(),
 			Traffic:       traffic.Uniform{N: topo.NumTerminals()},
 			InjectionRate: rate,
 			Seed:          5,
@@ -166,7 +167,7 @@ func TestLowLoadNotSaturatedHighLoadSaturated(t *testing.T) {
 func TestAllMechanismsDeliver(t *testing.T) {
 	topo := jelly(t, 12, 8, 4, 3)
 	pdb := db(topo, ksp.REDKSP, 4)
-	for _, mech := range append(Mechanisms(), SP()) {
+	for _, mech := range append(routing.Mechanisms(), routing.SP()) {
 		res := New(Config{
 			Topo:          topo,
 			Paths:         pdb,
@@ -196,7 +197,7 @@ func TestUGALUsesNonMinimalPaths(t *testing.T) {
 	res := New(Config{
 		Topo:          topo,
 		Paths:         pdb,
-		Mechanism:     VanillaUGAL(),
+		Mechanism:     routing.VanillaUGAL(),
 		Traffic:       traffic.NewFixedSampler(traffic.RandomPermutation(topo.NumTerminals(), xrand.New(2))),
 		InjectionRate: 0.9,
 		Seed:          13,
@@ -220,7 +221,7 @@ func TestPermutationTraffic(t *testing.T) {
 	res := New(Config{
 		Topo:          topo,
 		Paths:         pdb,
-		Mechanism:     KSPAdaptive(),
+		Mechanism:     routing.KSPAdaptive(),
 		Traffic:       traffic.NewFixedSampler(pat),
 		InjectionRate: 0.5,
 		Seed:          3,
@@ -238,7 +239,7 @@ func TestSweepAndSaturation(t *testing.T) {
 	cfg := Config{
 		Topo:      topo,
 		Paths:     db(topo, ksp.REDKSP, 4),
-		Mechanism: KSPAdaptive(),
+		Mechanism: routing.KSPAdaptive(),
 		Traffic:   traffic.Uniform{N: topo.NumTerminals()},
 		Seed:      17,
 	}
@@ -265,7 +266,7 @@ func TestDeliveredRateTracksOfferedAtLowLoad(t *testing.T) {
 	res := New(Config{
 		Topo:          topo,
 		Paths:         db(topo, ksp.REDKSP, 4),
-		Mechanism:     Random(),
+		Mechanism:     routing.Random(),
 		Traffic:       traffic.Uniform{N: topo.NumTerminals()},
 		InjectionRate: 0.1,
 		Seed:          23,
@@ -280,7 +281,7 @@ func TestConfigValidation(t *testing.T) {
 	ok := Config{
 		Topo:      topo,
 		Paths:     db(topo, ksp.KSP, 1),
-		Mechanism: SP(),
+		Mechanism: routing.SP(),
 		Traffic:   traffic.Uniform{N: 2},
 	}
 	bad := ok
@@ -289,17 +290,6 @@ func TestConfigValidation(t *testing.T) {
 	missing := ok
 	missing.Paths = nil
 	mustPanic(t, func() { New(missing) })
-}
-
-func TestMechanismByName(t *testing.T) {
-	for _, name := range []string{"sp", "random", "round-robin", "ugal", "ksp-ugal", "ksp-adaptive"} {
-		if _, err := MechanismByName(name); err != nil {
-			t.Errorf("MechanismByName(%q): %v", name, err)
-		}
-	}
-	if _, err := MechanismByName("magic"); err == nil {
-		t.Error("bogus mechanism accepted")
-	}
 }
 
 func TestRoundRobinCyclesPaths(t *testing.T) {
@@ -315,14 +305,13 @@ func TestRoundRobinCyclesPaths(t *testing.T) {
 	s := New(Config{
 		Topo:      topo,
 		Paths:     pdb,
-		Mechanism: RoundRobin(),
+		Mechanism: routing.RoundRobin(),
 		Traffic:   traffic.Uniform{N: 4},
 		NumVCs:    6,
 	})
-	st := s.mech
-	p1 := st.choose(s, 0, 2, 0, 2)
-	p2 := st.choose(s, 0, 2, 0, 2)
-	p3 := st.choose(s, 0, 2, 0, 2)
+	p1, _ := s.choosePath(0, 2)
+	p2, _ := s.choosePath(0, 2)
+	p3, _ := s.choosePath(0, 2)
 	if p1.Equal(p2) {
 		t.Fatalf("round robin repeated the path: %v", p1)
 	}
@@ -344,7 +333,7 @@ func TestKSPAdaptiveAvoidsCongestedPath(t *testing.T) {
 	s := New(Config{
 		Topo:      topo,
 		Paths:     pdb,
-		Mechanism: KSPAdaptive(),
+		Mechanism: routing.KSPAdaptive(),
 		Traffic:   traffic.Uniform{N: 4},
 		NumVCs:    6,
 	})
@@ -352,7 +341,7 @@ func TestKSPAdaptiveAvoidsCongestedPath(t *testing.T) {
 	id := topo.G.LinkID(0, 1)
 	s.occ[id] = 30
 	for trial := 0; trial < 20; trial++ {
-		p := s.mech.choose(s, 0, 2, 0, 2)
+		p, _ := s.choosePath(0, 2)
 		if p[1] == 1 {
 			t.Fatalf("adaptive chose the congested path %v", p)
 		}
@@ -393,7 +382,7 @@ func TestLatencyPercentiles(t *testing.T) {
 	res := New(Config{
 		Topo:          topo,
 		Paths:         db(topo, ksp.REDKSP, 4),
-		Mechanism:     Random(),
+		Mechanism:     routing.Random(),
 		Traffic:       traffic.Uniform{N: topo.NumTerminals()},
 		InjectionRate: 0.2,
 		Seed:          31,
@@ -412,7 +401,7 @@ func TestUGALBiasExtremes(t *testing.T) {
 	// delivered results under a fixed seed.
 	topo := jelly(t, 12, 8, 4, 3)
 	pdb := db(topo, ksp.KSP, 4)
-	run := func(mech Mechanism) Result {
+	run := func(mech routing.Mechanism) Result {
 		return New(Config{
 			Topo:          topo,
 			Paths:         pdb,
@@ -425,8 +414,8 @@ func TestUGALBiasExtremes(t *testing.T) {
 	// Routing decisions match SP exactly, but the mechanism consumes extra
 	// RNG draws (sampling the unused alternative), desynchronizing traffic
 	// generation — so compare statistically, not bit-for-bit.
-	biased := run(KSPUGALBiased(1 << 30))
-	sp := run(SP())
+	biased := run(routing.KSPUGALBiased(1 << 30))
+	sp := run(routing.SP())
 	if diff := biased.AvgLatency - sp.AvgLatency; diff > sp.AvgLatency*0.05 || diff < -sp.AvgLatency*0.05 {
 		t.Fatalf("infinitely biased KSP-UGAL (%v) far from SP (%v)",
 			biased.AvgLatency, sp.AvgLatency)
@@ -436,11 +425,11 @@ func TestUGALBiasExtremes(t *testing.T) {
 			biased.MaxHops, sp.MaxHops)
 	}
 	// Bias 0 must match the unbiased constructor.
-	a, b := run(KSPUGALBiased(0)), run(KSPUGAL())
+	a, b := run(routing.KSPUGALBiased(0)), run(routing.KSPUGAL())
 	if a.AvgLatency != b.AvgLatency {
 		t.Fatal("bias 0 differs from unbiased KSP-UGAL")
 	}
-	c, d := run(VanillaUGALBiased(0)), run(VanillaUGAL())
+	c, d := run(routing.VanillaUGALBiased(0)), run(routing.VanillaUGAL())
 	if c.AvgLatency != d.AvgLatency {
 		t.Fatal("bias 0 differs from unbiased UGAL")
 	}
@@ -451,7 +440,7 @@ func TestAvgHopsReported(t *testing.T) {
 	res := New(Config{
 		Topo:          topo,
 		Paths:         db(topo, ksp.KSP, 2),
-		Mechanism:     SP(),
+		Mechanism:     routing.SP(),
 		Traffic:       traffic.Uniform{N: topo.NumTerminals()},
 		InjectionRate: 0.1,
 		Seed:          41,
@@ -475,7 +464,7 @@ func TestNoLivelockUnderSustainedOverload(t *testing.T) {
 	s := New(Config{
 		Topo:          topo,
 		Paths:         db(topo, ksp.REDKSP, 4),
-		Mechanism:     KSPAdaptive(),
+		Mechanism:     routing.KSPAdaptive(),
 		Traffic:       traffic.Uniform{N: topo.NumTerminals()},
 		InjectionRate: 1.0,
 		Seed:          43,
@@ -503,7 +492,7 @@ func TestSaturationLatencyOnlyMode(t *testing.T) {
 	base := Config{
 		Topo:          topo,
 		Paths:         pdb,
-		Mechanism:     SP(),
+		Mechanism:     routing.SP(),
 		Traffic:       traffic.NewFixedSampler(traffic.RandomShift(topo.NumTerminals(), xrand.New(8))),
 		InjectionRate: 1.0,
 		Seed:          6,

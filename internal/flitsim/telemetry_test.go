@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/ksp"
+	"repro/internal/routing"
 	"repro/internal/telemetry"
 	"repro/internal/traffic"
 )
@@ -20,7 +21,7 @@ func TestTelemetryReconciles(t *testing.T) {
 	cfg := Config{
 		Topo:          topo,
 		Paths:         db(topo, ksp.REDKSP, 4),
-		Mechanism:     KSPAdaptive(),
+		Mechanism:     routing.KSPAdaptive(),
 		Traffic:       traffic.Uniform{N: topo.NumTerminals()},
 		InjectionRate: 0.6,
 		Seed:          7,
@@ -100,7 +101,7 @@ func TestTelemetryOffIdentical(t *testing.T) {
 	base := Config{
 		Topo:          topo,
 		Paths:         db(topo, ksp.RKSP, 4),
-		Mechanism:     KSPAdaptive(),
+		Mechanism:     routing.KSPAdaptive(),
 		Traffic:       traffic.Uniform{N: topo.NumTerminals()},
 		InjectionRate: 0.5,
 		Seed:          11,

@@ -1,0 +1,330 @@
+package routing
+
+import (
+	"repro/internal/faults"
+	"repro/internal/graph"
+	"repro/internal/xrand"
+)
+
+// The mechanisms below preserve the cycle-level simulator's exact RNG
+// consumption patterns (which draws happen, in which order, including
+// for one-element candidate sets), so a refactored run is bit-identical
+// to the pre-engine flitsim output under the same seed.
+
+// --- SP ---------------------------------------------------------------------
+
+type spMech struct{}
+
+// SP is single-path routing: every packet takes the pair's shortest path
+// (the first path of the candidate set).
+func SP() Mechanism { return spMech{} }
+
+func (spMech) Name() string     { return "SP" }
+func (spMech) NonMinimal() bool { return false }
+func (spMech) NewState() State  { return spState{} }
+
+type spState struct{}
+
+func (spState) Choose(v *View, src, dst graph.NodeID, _ LoadEstimator, _ *xrand.RNG) (graph.Path, int) {
+	if src == dst {
+		return sameSwitch(src), -1
+	}
+	if v.Degraded() {
+		// Degraded mode: the shortest *surviving* candidate.
+		ps, mask := v.LiveCandidates(src, dst)
+		if mask == 0 {
+			return nil, -1
+		}
+		i := faults.FirstSet(mask)
+		return ps[i], i
+	}
+	ps := v.Candidates(src, dst)
+	if len(ps) == 0 {
+		return nil, -1
+	}
+	return ps[0], 0
+}
+
+// --- Random -----------------------------------------------------------------
+
+type randomMech struct{}
+
+// Random picks one of the k candidate paths uniformly at random per packet.
+func Random() Mechanism { return randomMech{} }
+
+func (randomMech) Name() string     { return "Random" }
+func (randomMech) NonMinimal() bool { return false }
+func (randomMech) NewState() State  { return randomState{} }
+
+type randomState struct{}
+
+func (randomState) Choose(v *View, src, dst graph.NodeID, _ LoadEstimator, rng *xrand.RNG) (graph.Path, int) {
+	if src == dst {
+		return sameSwitch(src), -1
+	}
+	if v.Degraded() {
+		ps, mask := v.LiveCandidates(src, dst)
+		if mask == 0 {
+			return nil, -1
+		}
+		i := faults.NthSet(mask, rng.IntN(faults.PopCount(mask)))
+		return ps[i], i
+	}
+	ps := v.Candidates(src, dst)
+	if len(ps) == 0 {
+		return nil, -1
+	}
+	i := rng.IntN(len(ps))
+	return ps[i], i
+}
+
+// --- Round-robin --------------------------------------------------------------
+
+type rrMech struct{}
+
+// RoundRobin cycles through the k candidate paths of each switch pair in
+// order, one path per packet.
+func RoundRobin() Mechanism { return rrMech{} }
+
+func (rrMech) Name() string     { return "Round-Robin" }
+func (rrMech) NonMinimal() bool { return false }
+func (rrMech) NewState() State {
+	return &rrState{counters: make(map[uint64]int32)}
+}
+
+type rrState struct {
+	counters map[uint64]int32
+}
+
+func (r *rrState) Choose(v *View, src, dst graph.NodeID, _ LoadEstimator, _ *xrand.RNG) (graph.Path, int) {
+	if src == dst {
+		return sameSwitch(src), -1
+	}
+	key := uint64(uint32(src))<<32 | uint64(uint32(dst))
+	if v.Degraded() {
+		// Keep cycling the counter but skip dead candidates: the next
+		// live path at or after the counter position carries the packet.
+		ps, mask := v.LiveCandidates(src, dst)
+		if mask == 0 {
+			return nil, -1
+		}
+		i := faults.NextSet(mask, int(r.counters[key])%len(ps), len(ps))
+		r.counters[key] = int32((i + 1) % len(ps))
+		return ps[i], i
+	}
+	ps := v.Candidates(src, dst)
+	if len(ps) == 0 {
+		return nil, -1
+	}
+	i := r.counters[key]
+	r.counters[key] = (i + 1) % int32(len(ps))
+	return ps[i], int(i)
+}
+
+// --- vanilla UGAL -------------------------------------------------------------
+
+type ugalMech struct{ bias int }
+
+// VanillaUGAL is the classic Universal Globally Adaptive Load-balanced
+// routing applied directly to Jellyfish: per packet it compares the
+// minimal path against one Valiant-style non-minimal path through a random
+// intermediate switch, estimating each path's latency through the
+// LoadEstimator, with no bias toward either (the paper's setting). The
+// minimal path is the pair's shortest candidate; the non-minimal path is
+// the concatenation of the shortest paths to and from the intermediate.
+func VanillaUGAL() Mechanism { return ugalMech{} }
+
+// VanillaUGALBiased is VanillaUGAL with an additive bias (in queue-cycle
+// units) in favor of the minimal path: the non-minimal candidate is taken
+// only when its estimate beats the minimal estimate by more than bias.
+// The paper evaluates bias 0 ("no bias towards MIN or VLB"); this knob
+// exists for the ablation study.
+func VanillaUGALBiased(bias int) Mechanism { return ugalMech{bias: bias} }
+
+func (ugalMech) Name() string      { return "UGAL" }
+func (ugalMech) NonMinimal() bool  { return true }
+func (m ugalMech) NewState() State { return ugalState{bias: m.bias} }
+
+type ugalState struct{ bias int }
+
+func (st ugalState) Choose(v *View, src, dst graph.NodeID, load LoadEstimator, rng *xrand.RNG) (graph.Path, int) {
+	if src == dst {
+		return sameSwitch(src), -1
+	}
+	if v.Degraded() {
+		return st.chooseDegraded(v, src, dst, load, rng)
+	}
+	ps := v.Candidates(src, dst)
+	if len(ps) == 0 {
+		return nil, -1
+	}
+	minPath := ps[0]
+	// Random intermediate different from both endpoints.
+	mid := randomIntermediate(v.NumNodes, src, dst, rng)
+	a := firstPath(v, src, mid)
+	b := firstPath(v, mid, dst)
+	nonMin := composePaths(a, b)
+	if load.PathCost(nonMin)+st.bias < load.PathCost(minPath) {
+		return nonMin, -1
+	}
+	return minPath, 0
+}
+
+// chooseDegraded is VanillaUGAL under active faults: the minimal candidate
+// becomes the best surviving path, and the Valiant detour is admitted only
+// when both of its legs survive (and it fits the VC budget).
+func (st ugalState) chooseDegraded(v *View, src, dst graph.NodeID, load LoadEstimator, rng *xrand.RNG) (graph.Path, int) {
+	ps, mask := v.LiveCandidates(src, dst)
+	if mask == 0 {
+		return nil, -1
+	}
+	minIdx := faults.FirstSet(mask)
+	minPath := ps[minIdx]
+	mid := randomIntermediate(v.NumNodes, src, dst, rng)
+	la, ma := v.LiveCandidates(src, mid)
+	lb, mb := v.LiveCandidates(mid, dst)
+	if ma == 0 || mb == 0 {
+		return minPath, minIdx
+	}
+	nonMin := composePaths(la[faults.FirstSet(ma)], lb[faults.FirstSet(mb)])
+	if (v.MaxHops <= 0 || nonMin.Hops() <= v.MaxHops) && load.PathCost(nonMin)+st.bias < load.PathCost(minPath) {
+		return nonMin, -1
+	}
+	return minPath, minIdx
+}
+
+// randomIntermediate draws a switch different from both endpoints.
+func randomIntermediate(n int, src, dst graph.NodeID, rng *xrand.RNG) graph.NodeID {
+	for {
+		mid := graph.NodeID(rng.IntN(n))
+		if mid != src && mid != dst {
+			return mid
+		}
+	}
+}
+
+// firstPath is the shortest candidate of a pair, panicking on
+// unreachable pairs (the topologies here are connected by construction).
+func firstPath(v *View, src, dst graph.NodeID) graph.Path {
+	ps := v.Candidates(src, dst)
+	if len(ps) == 0 {
+		panic("routing: no paths " + graph.Path{src, dst}.String())
+	}
+	return ps[0]
+}
+
+// composePaths concatenates the two legs of a Valiant detour.
+func composePaths(a, b graph.Path) graph.Path {
+	nonMin := make(graph.Path, 0, len(a)+len(b)-1)
+	nonMin = append(nonMin, a...)
+	return append(nonMin, b[1:]...)
+}
+
+// --- KSP-UGAL -----------------------------------------------------------------
+
+type kspUgalMech struct{ bias int }
+
+// KSPUGAL restricts UGAL's non-minimal choice to the k candidate paths:
+// the pair's shortest path is the minimal candidate and one random other
+// path of the set is the non-minimal candidate; the packet takes the one
+// with the smaller estimated latency.
+func KSPUGAL() Mechanism { return kspUgalMech{} }
+
+// KSPUGALBiased is KSPUGAL with an additive bias toward the minimal path,
+// for the ablation study (the paper uses bias 0).
+func KSPUGALBiased(bias int) Mechanism { return kspUgalMech{bias: bias} }
+
+func (kspUgalMech) Name() string      { return "KSP-UGAL" }
+func (kspUgalMech) NonMinimal() bool  { return false }
+func (m kspUgalMech) NewState() State { return kspUgalState{bias: m.bias} }
+
+type kspUgalState struct{ bias int }
+
+func (st kspUgalState) Choose(v *View, src, dst graph.NodeID, load LoadEstimator, rng *xrand.RNG) (graph.Path, int) {
+	if src == dst {
+		return sameSwitch(src), -1
+	}
+	if v.Degraded() {
+		// Degraded mode: minimal = best surviving, alternative = a random
+		// other survivor.
+		ps, mask := v.LiveCandidates(src, dst)
+		if mask == 0 {
+			return nil, -1
+		}
+		minIdx := faults.FirstSet(mask)
+		minPath := ps[minIdx]
+		live := faults.PopCount(mask)
+		if live == 1 {
+			return minPath, minIdx
+		}
+		altIdx := faults.NthSet(mask, 1+rng.IntN(live-1))
+		if load.PathCost(ps[altIdx])+st.bias < load.PathCost(minPath) {
+			return ps[altIdx], altIdx
+		}
+		return minPath, minIdx
+	}
+	ps := v.Candidates(src, dst)
+	if len(ps) == 0 {
+		return nil, -1
+	}
+	minPath := ps[0]
+	if len(ps) == 1 {
+		return minPath, 0
+	}
+	altIdx := 1 + rng.IntN(len(ps)-1)
+	if load.PathCost(ps[altIdx])+st.bias < load.PathCost(minPath) {
+		return ps[altIdx], altIdx
+	}
+	return minPath, 0
+}
+
+// --- KSP-adaptive ---------------------------------------------------------------
+
+type kspAdaptiveMech struct{}
+
+// KSPAdaptive is the paper's proposed mechanism: sample two random
+// candidates from the k paths (without designating either as minimal) and
+// send the packet on the one with the smaller estimated latency.
+func KSPAdaptive() Mechanism { return kspAdaptiveMech{} }
+
+func (kspAdaptiveMech) Name() string     { return "KSP-adaptive" }
+func (kspAdaptiveMech) NonMinimal() bool { return false }
+func (kspAdaptiveMech) NewState() State  { return kspAdaptiveState{} }
+
+type kspAdaptiveState struct{}
+
+func (kspAdaptiveState) Choose(v *View, src, dst graph.NodeID, load LoadEstimator, rng *xrand.RNG) (graph.Path, int) {
+	if src == dst {
+		return sameSwitch(src), -1
+	}
+	if v.Degraded() {
+		// Degraded mode: two distinct random *survivors* compete.
+		ps, mask := v.LiveCandidates(src, dst)
+		if mask == 0 {
+			return nil, -1
+		}
+		live := faults.PopCount(mask)
+		if live == 1 {
+			i := faults.FirstSet(mask)
+			return ps[i], i
+		}
+		i, j := rng.TwoDistinct(live)
+		ii, jj := faults.NthSet(mask, i), faults.NthSet(mask, j)
+		if load.PathCost(ps[jj]) < load.PathCost(ps[ii]) {
+			return ps[jj], jj
+		}
+		return ps[ii], ii
+	}
+	ps := v.Candidates(src, dst)
+	if len(ps) == 0 {
+		return nil, -1
+	}
+	if len(ps) == 1 {
+		return ps[0], 0
+	}
+	i, j := rng.TwoDistinct(len(ps))
+	if load.PathCost(ps[j]) < load.PathCost(ps[i]) {
+		return ps[j], j
+	}
+	return ps[i], i
+}

@@ -1,0 +1,54 @@
+package routing
+
+import (
+	"repro/internal/faults"
+	"repro/internal/graph"
+)
+
+// PathProvider supplies the k candidate paths per ordered switch pair
+// (typically *paths.DB).
+type PathProvider interface {
+	Paths(s, d graph.NodeID) []graph.Path
+}
+
+// View is what a mechanism sees of the network's path state: the
+// configured candidate sets, the live-candidate masks under the current
+// fault state, and the two topology-derived bounds mechanisms need
+// (node count for Valiant intermediates, the VC budget for composed
+// detours). The host simulator builds one View per run and passes it to
+// every Choose call.
+type View struct {
+	// Provider supplies the per-pair candidate paths.
+	Provider PathProvider
+	// Faults is the run's fault tracker, or nil when no fault schedule
+	// is attached.
+	Faults *faults.State
+	// NumNodes is the switch count (UGAL draws random intermediates
+	// from it).
+	NumNodes int
+	// MaxHops bounds admissible path length during fault episodes (the
+	// simulators pass their VC budget); 0 means unbounded.
+	MaxHops int
+}
+
+// Degraded reports whether any link is currently down. Mechanisms
+// branch on it: the false branch is the exact pre-fault code, so a run
+// with an empty (or not-yet-fired, or fully recovered) schedule
+// consumes the RNG identically to a run with no fault machinery at all.
+func (v *View) Degraded() bool { return v.Faults != nil && v.Faults.Active() }
+
+// Candidates returns the pair's configured candidate set, ignoring
+// faults (the non-degraded fast path). An empty set means the pair is
+// unroutable and Choose returns nil.
+func (v *View) Candidates(src, dst graph.NodeID) []graph.Path {
+	return v.Provider.Paths(src, dst)
+}
+
+// LiveCandidates returns the pair's routable candidates and liveness
+// mask under the current fault state: the configured candidates with
+// dead ones masked off, or a repaired set when all of them died. A zero
+// mask means the pair is unroutable right now. Only call when Degraded
+// is true.
+func (v *View) LiveCandidates(src, dst graph.NodeID) ([]graph.Path, uint64) {
+	return v.Faults.Candidates(src, dst, v.Provider.Paths(src, dst))
+}
