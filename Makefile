@@ -2,7 +2,14 @@
 # optional linters, race-detector runs of the concurrency-heavy packages
 # and the fault-injection paths, full build. gofmt and go vet always run;
 # staticcheck/govulncheck are optional-when-installed (see lint).
-.PHONY: check build test bench bench-routing fmt lint race-faults
+#
+# check does not run benchmarks (too noisy for a gate). When a change
+# touches internal/flitsim's step loop or internal/routing's Choose path,
+# run `make bench-flit` / `make bench-routing` and compare the fresh
+# "current" numbers against the committed BENCH_*.json baselines the way
+# benchstat compares runs — several repetitions, interleaved, on an idle
+# machine — before trusting a delta (docs/PERFORMANCE.md).
+.PHONY: check build test bench bench-routing bench-flit fmt lint race-faults
 
 check: fmt lint
 	go vet ./...
@@ -38,7 +45,7 @@ build:
 test:
 	go test ./...
 
-bench: bench-routing
+bench: bench-routing bench-flit
 	go test -bench=. -benchmem ./...
 
 # Routing-engine microbenchmarks: ns/op and allocs/op of one Choose call
@@ -46,3 +53,12 @@ bench: bench-routing
 # committed file is the baseline to diff against).
 bench-routing:
 	go run ./internal/routing/benchjson -o BENCH_routing.json
+
+# Cycle-level simulator stepping throughput (cycles/sec, ns/cycle at a
+# low, mid and saturating load), written to BENCH_flitsim.json. The file
+# keeps its stored "baseline" run across reruns, benchstat-style: compare
+# "current" against "baseline" (and against the committed file's
+# "current") before and after touching the hot loop; see
+# docs/PERFORMANCE.md for the workflow and what the loads exercise.
+bench-flit:
+	go run ./internal/flitsim/benchjson -o BENCH_flitsim.json

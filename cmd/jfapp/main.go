@@ -50,12 +50,17 @@ func main() {
 		dumpTraces   = flag.String("dump-traces", "", "write the synthetic DUMPI traces to this directory and exit")
 		tel          = cliflags.TelemetryFlags("one instrumented replay (first of -stencils, default 2DNN)")
 		faultFlags   = cliflags.FaultFlags()
+		prof         = cliflags.ProfileFlags()
 	)
 	flag.Parse()
 
 	if *k < 1 {
 		fatal(fmt.Errorf("-k must be at least 1, got %d", *k))
 	}
+	if err := prof.Start(); err != nil {
+		fatal(err)
+	}
+	defer prof.Stop()
 	if *bytesPerRank <= 0 {
 		fatal(fmt.Errorf("-bytes-per-rank must be positive, got %d", *bytesPerRank))
 	}

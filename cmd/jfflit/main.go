@@ -43,12 +43,17 @@ func main() {
 		workers        = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 		csv            = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		chart          = flag.Bool("chart", false, "render saturation results as a text bar chart")
+		prof           = cliflags.ProfileFlags()
 	)
 	flag.Parse()
 
 	if *k < 1 {
 		fatal(fmt.Errorf("-k must be at least 1, got %d", *k))
 	}
+	if err := prof.Start(); err != nil {
+		fatal(err)
+	}
+	defer prof.Stop()
 	if *rateStep <= 0 {
 		fatal(fmt.Errorf("-rate-step must be positive, got %g", *rateStep))
 	}

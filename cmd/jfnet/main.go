@@ -58,12 +58,17 @@ func main() {
 
 		faultFlags = cliflags.FaultFlags()
 		faultSweep = flag.String("fault-sweep", "", "comma-separated failed-link counts: run delivered-throughput vs. failures for all selectors and mechanisms")
+		prof       = cliflags.ProfileFlags()
 	)
 	flag.Parse()
 
 	if *k < 1 {
 		fatal(fmt.Errorf("-k must be at least 1, got %d", *k))
 	}
+	if err := prof.Start(); err != nil {
+		fatal(err)
+	}
+	defer prof.Stop()
 
 	if *faultSweep != "" {
 		if err := runFaultSweep(*faultSweep, *topos, *pattern, *faultFlags.Policy, *rate, *k, *topoSamples, *seed, *workers, *csv); err != nil {

@@ -11,6 +11,10 @@ package cliflags
 
 import (
 	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/routing"
 )
@@ -46,6 +50,70 @@ func TelemetryFlags(runDesc string) Telemetry {
 			"run "+runDesc+" and write telemetry files to this directory"),
 		Selector: flag.String("selector", "rEDKSP",
 			"path selector for -telemetry: KSP, rKSP, EDKSP or rEDKSP"),
+	}
+}
+
+// Profile is the flag pair behind CPU and heap profiling of a whole
+// invocation (see docs/PERFORMANCE.md for the workflow):
+//
+//	jfflit -experiment latency -topo small -cpuprofile cpu.pprof
+//	go tool pprof cpu.pprof
+type Profile struct {
+	cpu, mem *string
+	f        *os.File
+}
+
+// ProfileFlags registers -cpuprofile and -memprofile.
+func ProfileFlags() *Profile {
+	return &Profile{
+		cpu: flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file"),
+		mem: flag.String("memprofile", "", "write a heap profile at exit to this file"),
+	}
+}
+
+// Start begins CPU profiling if -cpuprofile was given. Call after
+// flag.Parse; pair with a deferred Stop.
+func (p *Profile) Start() error {
+	if *p.cpu == "" {
+		return nil
+	}
+	f, err := os.Create(*p.cpu)
+	if err != nil {
+		return fmt.Errorf("cpuprofile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("cpuprofile: %w", err)
+	}
+	p.f = f
+	return nil
+}
+
+// Stop flushes the CPU profile started by Start and, if -memprofile was
+// given, writes a heap profile after a final GC. Errors are reported on
+// stderr rather than returned: profiling must never turn a successful
+// run into a failing one.
+func (p *Profile) Stop() {
+	if p.f != nil {
+		pprof.StopCPUProfile()
+		if err := p.f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+		}
+		p.f = nil
+	}
+	if *p.mem != "" {
+		f, err := os.Create(*p.mem)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+			return
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+		}
 	}
 }
 

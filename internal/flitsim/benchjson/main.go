@@ -1,0 +1,159 @@
+// Command benchjson measures the cycle-level simulator's raw stepping
+// throughput — cycles/sec and ns/cycle — at a low, mid and saturating
+// offered load on the paper's Table-I small topology (RRG(36,24,16), 288
+// terminals), and writes the results as JSON so `make bench-flit` can
+// track hot-loop cost across commits:
+//
+//	go run ./internal/flitsim/benchjson -o BENCH_flitsim.json
+//
+// The low-load point is the one that dominates latency-vs-load sweeps
+// (most of a sweep's rates sit below saturation), so it is the headline
+// number for occupancy-proportional stepping.
+//
+// When the output file already exists, its oldest run is preserved under
+// "baseline" so the committed file always carries a before/after pair;
+// pass -rebase to discard the stored baseline and start a fresh one.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"repro/internal/cliflags"
+	"repro/internal/flitsim"
+	"repro/internal/jellyfish"
+	"repro/internal/ksp"
+	"repro/internal/paths"
+	"repro/internal/routing"
+	"repro/internal/traffic"
+	"repro/internal/xrand"
+)
+
+type point struct {
+	Load         float64 `json:"load"`
+	NsPerCycle   float64 `json:"ns_per_cycle"`
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+}
+
+type run struct {
+	Label  string  `json:"label"`
+	Points []point `json:"points"`
+}
+
+type report struct {
+	Topology     string `json:"topology"`
+	Switches     int    `json:"switches"`
+	Terminals    int    `json:"terminals"`
+	Selector     string `json:"selector"`
+	Mechanism    string `json:"mechanism"`
+	K            int    `json:"k"`
+	WarmupCycles int    `json:"warmup_cycles"`
+	Baseline     *run   `json:"baseline,omitempty"`
+	Current      run    `json:"current"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_flitsim.json", "output file")
+	label := flag.String("label", "sparse active-set hot loop + dense link-id table", "label for this run")
+	rebase := flag.Bool("rebase", false, "discard the stored baseline and make this run the new one")
+	prof := cliflags.ProfileFlags()
+	flag.Parse()
+
+	if err := prof.Start(); err != nil {
+		fatal(err)
+	}
+	defer prof.Stop()
+
+	const k = 8
+	const warmup = 1000
+	params := jellyfish.Small
+	topo, err := jellyfish.New(params, xrand.New(7))
+	if err != nil {
+		fatal(err)
+	}
+	pdb := paths.NewDB(topo.G, ksp.Config{Alg: ksp.REDKSP, K: k}, 0)
+
+	rep := report{
+		Topology:     fmt.Sprint(params),
+		Switches:     params.N,
+		Terminals:    topo.NumTerminals(),
+		Selector:     "rEDKSP",
+		Mechanism:    "ksp-adaptive",
+		K:            k,
+		WarmupCycles: warmup,
+		Current:      run{Label: *label},
+	}
+
+	for _, load := range []float64{0.05, 0.40, 0.95} {
+		cfg := flitsim.Config{
+			Topo:          topo,
+			Paths:         pdb,
+			Mechanism:     routing.KSPAdaptive(),
+			Traffic:       traffic.Uniform{N: topo.NumTerminals()},
+			InjectionRate: load,
+			Seed:          42,
+		}
+		ns := measure(cfg, warmup)
+		rep.Current.Points = append(rep.Current.Points, point{
+			Load:         load,
+			NsPerCycle:   ns,
+			CyclesPerSec: 1e9 / ns,
+		})
+		fmt.Printf("load %.2f: %10.1f ns/cycle %12.0f cycles/sec\n", load, ns, 1e9/ns)
+	}
+
+	// Preserve the oldest committed run as the baseline, so the file
+	// always documents a before/after pair for this hot loop.
+	if !*rebase {
+		if buf, err := os.ReadFile(*out); err == nil {
+			var prev report
+			if json.Unmarshal(buf, &prev) == nil {
+				if prev.Baseline != nil {
+					rep.Baseline = prev.Baseline
+				} else if len(prev.Current.Points) > 0 {
+					rep.Baseline = &prev.Current
+				}
+			}
+		}
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Println("wrote", *out)
+}
+
+// measure times a fixed amount of deterministic work — a fresh simulation
+// warmed up and then stepped for a fixed cycle count — several times and
+// keeps the fastest repetition. Fixed work makes runs comparable across
+// commits (a b.N-scaled harness measures different saturation depths on
+// different machines); best-of-reps suppresses scheduler noise.
+func measure(cfg flitsim.Config, warmup int) float64 {
+	const cycles = 10_000
+	const reps = 5
+	best := math.Inf(1)
+	for r := 0; r < reps; r++ {
+		s := flitsim.New(cfg)
+		s.Step(warmup)
+		t0 := time.Now()
+		s.Step(cycles)
+		if ns := float64(time.Since(t0).Nanoseconds()) / cycles; ns < best {
+			best = ns
+		}
+	}
+	return best
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -51,11 +51,8 @@ func (s *Sim) onFaultEvents(evs []faults.Event) {
 // handling each packet at the link's sending switch.
 func (s *Sim) flushLink(link int32) {
 	for vc := int32(0); int(vc) < s.numVC; vc++ {
-		q := &s.queues[link][vc]
-		for q.len() > 0 {
-			id := q.pop()
-			s.occ[link]--
-			s.occVC[int(link)*s.numVC+int(vc)]--
+		for s.queues[link][vc].len() > 0 {
+			id := s.qpop(link, vc)
 			p := &s.pkts[id]
 			s.handleFaultPacket(id, p.path[p.hop])
 		}
@@ -72,7 +69,7 @@ func (s *Sim) sweepInflight() {
 		kept := slot[:0]
 		for _, a := range slot {
 			p := &s.pkts[a.pkt]
-			if p.hop >= 1 && s.faults.LinkDown(s.g.LinkID(p.path[p.hop-1], p.path[p.hop])) {
+			if p.hop >= 1 && s.faults.LinkDown(p.links[p.hop-1]) {
 				s.occ[a.link]--
 				s.occVC[int(a.link)*s.numVC+int(a.vc)]--
 				// The packet was mid-channel when the link died; under the
@@ -106,7 +103,7 @@ func (s *Sim) handleFaultPacket(id int32, cur graph.NodeID) {
 		s.dropPkt(id)
 		return
 	}
-	p.path = np
+	s.setPath(p, np)
 	p.hop = 0
 	s.rerouteQ = append(s.rerouteQ, id)
 	s.rerouted++
@@ -123,20 +120,20 @@ func (s *Sim) processReroutes() {
 	kept := s.rerouteQ[:0]
 	for _, id := range s.rerouteQ {
 		p := &s.pkts[id]
-		if p.path.Hops() > 0 && s.faults.LinkDown(s.g.LinkID(p.path[0], p.path[1])) {
+		if len(p.links) > 0 && s.faults.LinkDown(p.links[0]) {
 			dst := s.topo.SwitchOf(int(p.dstTerm))
 			np, _ := s.choosePath(p.path[0], dst)
 			if np == nil || np.Hops() > s.numVC {
 				s.dropPkt(id)
 				continue
 			}
-			p.path = np
+			s.setPath(p, np)
 		}
 		var link, vc int32
-		if p.path.Hops() == 0 {
+		if len(p.links) == 0 {
 			link, vc = s.ejLink(p.dstTerm), 0
 		} else {
-			link, vc = s.g.LinkID(p.path[0], p.path[1]), 0
+			link, vc = p.links[0], 0
 		}
 		if !s.spaceIn(link, vc) {
 			kept = append(kept, id)
@@ -144,7 +141,7 @@ func (s *Sim) processReroutes() {
 		}
 		s.occ[link]++
 		s.occVC[int(link)*s.numVC+int(vc)]++
-		s.queues[link][vc].push(id)
+		s.qpush(link, vc, id)
 	}
 	s.rerouteQ = kept
 }

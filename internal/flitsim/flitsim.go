@@ -28,6 +28,7 @@ package flitsim
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/faults"
 	"repro/internal/graph"
@@ -178,8 +179,13 @@ type Result struct {
 
 // packet is a single-flit packet.
 type packet struct {
-	path    graph.Path // switch-level path; len 1 for same-switch traffic
-	hop     int32      // next path edge index to traverse
+	path graph.Path // switch-level path; len 1 for same-switch traffic
+	// links caches the directed link id of every path edge (links[i] is
+	// LinkID(path[i], path[i+1])), filled once when the path is assigned
+	// so the forwarding hot path never repeats the adjacency binary
+	// search. Its backing array is recycled with the packet slot.
+	links   []int32
+	hop     int32 // next path edge index to traverse
 	dstTerm int32
 	birth   int64 // cycle the packet entered the source queue
 	next    int32 // freelist / queue linkage
@@ -205,6 +211,28 @@ type Sim struct {
 	occVC    []int32  // committed occupancy per (link, vc)
 	rrVC     []int32  // round-robin VC pointer per link
 	inflight wheel    // packets on channels, by arrival cycle
+
+	// Sparse hot-loop state: per-cycle cost is proportional to occupancy,
+	// not topology size. qlen counts queued (not reserved) packets per
+	// link; active is a bitmap over links with qlen > 0, scanned ascending
+	// so arbitration order matches a full link scan; vcMask holds one
+	// nonempty-VC bitmask per link (maskWords uint64 words each) resolved
+	// by pickVC with bits.TrailingZeros64; srcActive is the same bitmap
+	// idea over terminals with a nonempty source queue. All four are
+	// maintained exclusively by qpush/qpop/srcPush/srcPop.
+	maskWords int
+	vcMask    []uint64
+	qlen      []int32
+	active    []uint64
+	srcActive []uint64
+
+	// linkOf is a dense (u, v) -> link-id table replacing graph.LinkID's
+	// adjacency binary search on the per-packet paths (PathCost runs k
+	// times per injection, setPath once per hop). nil when the switch
+	// count makes n^2 entries too expensive; linkID falls back to the
+	// graph then.
+	linkOf []int32
+	nSw    int
 
 	pkts  []packet
 	free  int32 // packet freelist head (-1 none)
@@ -249,7 +277,7 @@ func (f *fifo) pop() int32 {
 // wheel schedules in-flight packets by absolute arrival cycle.
 type wheel struct {
 	slots [][]arrival
-	base  int64
+	now   int64 // cycle of the last take; -1 before the first
 }
 
 type arrival struct {
@@ -259,16 +287,26 @@ type arrival struct {
 }
 
 func newWheel(horizon int) wheel {
-	return wheel{slots: make([][]arrival, horizon+1)}
+	return wheel{slots: make([][]arrival, horizon+1), now: -1}
 }
 
+// schedule enqueues an arrival for cycle at. A slot is reused every
+// len(slots) cycles, so an arrival is representable only inside the window
+// (now, now+len(slots)]: anything earlier was already taken this cycle and
+// anything later would silently alias onto a nearer slot and fire at the
+// wrong time. Both are programming errors and panic.
 func (w *wheel) schedule(at int64, a arrival) {
-	idx := int(at-w.base) % len(w.slots)
+	if at <= w.now || at > w.now+int64(len(w.slots)) {
+		panic(fmt.Sprintf("flitsim: wheel schedule at cycle %d outside window (%d, %d] (horizon %d slots)",
+			at, w.now, w.now+int64(len(w.slots)), len(w.slots)))
+	}
+	idx := int(at % int64(len(w.slots)))
 	w.slots[idx] = append(w.slots[idx], a)
 }
 
 func (w *wheel) take(now int64) []arrival {
-	idx := int(now-w.base) % len(w.slots)
+	w.now = now
+	idx := int(now % int64(len(w.slots)))
 	out := w.slots[idx]
 	w.slots[idx] = nil
 	return out
@@ -353,6 +391,23 @@ func NewSim(cfg Config) (*Sim, error) {
 	s.occ = make([]int32, nLinks)
 	s.occVC = make([]int32, nLinks*s.numVC)
 	s.rrVC = make([]int32, nLinks)
+	s.maskWords = (s.numVC + 63) / 64
+	s.vcMask = make([]uint64, nLinks*s.maskWords)
+	s.qlen = make([]int32, nLinks)
+	s.active = make([]uint64, (nLinks+63)/64)
+	s.srcActive = make([]uint64, (s.numTerm+63)/64)
+	s.nSw = s.g.NumNodes()
+	if n := s.nSw; n*n <= 4<<20 { // 16 MB cap; the large topology falls back
+		s.linkOf = make([]int32, n*n)
+		for i := range s.linkOf {
+			s.linkOf[i] = -1
+		}
+		for u := 0; u < n; u++ {
+			for _, v := range s.g.Neighbors(graph.NodeID(u)) {
+				s.linkOf[u*n+int(v)] = s.g.LinkID(graph.NodeID(u), v)
+			}
+		}
+	}
 	maxLat := cfg.ChannelLatency
 	if cfg.TerminalLatency > maxLat {
 		maxLat = cfg.TerminalLatency
@@ -401,6 +456,14 @@ func NewSim(cfg Config) (*Sim, error) {
 // Telemetry returns the attached collector (nil when telemetry is off).
 func (s *Sim) Telemetry() *telemetry.Collector { return s.tel }
 
+// linkID is graph.LinkID through the dense table when one was built.
+func (s *Sim) linkID(u, v graph.NodeID) int32 {
+	if s.linkOf != nil {
+		return s.linkOf[int(u)*s.nSw+int(v)]
+	}
+	return s.g.LinkID(u, v)
+}
+
 func (s *Sim) injLink(term int32) int32 { return int32(s.numNet) + term }
 func (s *Sim) ejLink(term int32) int32  { return int32(s.numNet+s.numTerm) + term }
 
@@ -408,7 +471,7 @@ func (s *Sim) ejLink(term int32) int32  { return int32(s.numNet+s.numTerm) + ter
 // of the directed network link u→v: the congestion signal adaptive
 // mechanisms compare. It panics if {u,v} is not an edge.
 func (s *Sim) QueueLen(u, v graph.NodeID) int {
-	id := s.g.LinkID(u, v)
+	id := s.linkID(u, v)
 	if id < 0 {
 		panic(fmt.Sprintf("flitsim: no link %d->%d", u, v))
 	}
@@ -424,7 +487,7 @@ func (s *Sim) PathCost(p graph.Path) int {
 	if h <= 0 {
 		return 0
 	}
-	return int(s.occ[s.g.LinkID(p[0], p[1])]) * h
+	return int(s.occ[s.linkID(p[0], p[1])]) * h
 }
 
 // choosePath runs the configured mechanism for one packet from switch src
@@ -446,8 +509,68 @@ func (s *Sim) allocPkt() int32 {
 }
 
 func (s *Sim) freePkt(id int32) {
-	s.pkts[id] = packet{next: s.free}
+	s.pkts[id] = packet{next: s.free, links: s.pkts[id].links[:0]}
 	s.free = id
+}
+
+// setPath assigns a (non-nil) path to the packet and precomputes the link
+// id of every edge, so forwarding never repeats graph.LinkID's adjacency
+// binary search per hop.
+func (s *Sim) setPath(p *packet, path graph.Path) {
+	p.path = path
+	p.links = p.links[:0]
+	for i := 0; i+1 < len(path); i++ {
+		p.links = append(p.links, s.linkID(path[i], path[i+1]))
+	}
+}
+
+// qpush appends a packet to (link, vc), maintaining the VC bitmask and the
+// active-link bitmap. Committed occupancy (occ/occVC) is not touched: the
+// slot was reserved when the packet departed its previous queue.
+func (s *Sim) qpush(link, vc, id int32) {
+	q := &s.queues[link][vc]
+	if q.len() == 0 {
+		s.vcMask[int(link)*s.maskWords+int(vc)>>6] |= 1 << (uint(vc) & 63)
+	}
+	q.push(id)
+	s.qlen[link]++
+	if s.qlen[link] == 1 {
+		s.active[link>>6] |= 1 << (uint(link) & 63)
+	}
+}
+
+// qpop removes the head of (link, vc) and releases its committed slot,
+// maintaining the VC bitmask and the active-link bitmap.
+func (s *Sim) qpop(link, vc int32) int32 {
+	q := &s.queues[link][vc]
+	id := q.pop()
+	if q.len() == 0 {
+		s.vcMask[int(link)*s.maskWords+int(vc)>>6] &^= 1 << (uint(vc) & 63)
+	}
+	s.qlen[link]--
+	if s.qlen[link] == 0 {
+		s.active[link>>6] &^= 1 << (uint(link) & 63)
+	}
+	s.occ[link]--
+	s.occVC[int(link)*s.numVC+int(vc)]--
+	return id
+}
+
+func (s *Sim) srcPush(term, id int32) {
+	q := &s.srcQueue[term]
+	if q.len() == 0 {
+		s.srcActive[term>>6] |= 1 << (uint(term) & 63)
+	}
+	q.push(id)
+}
+
+func (s *Sim) srcPop(term int32) int32 {
+	q := &s.srcQueue[term]
+	id := q.pop()
+	if q.len() == 0 {
+		s.srcActive[term>>6] &^= 1 << (uint(term) & 63)
+	}
+	return id
 }
 
 // step advances the simulation by one cycle. measuring toggles stats
@@ -473,85 +596,106 @@ func (s *Sim) step(measuring bool, sampleLatSum *int64, sampleCount *int64) {
 			s.handleFaultPacket(a.pkt, p.path[p.hop])
 			continue
 		}
-		s.queues[a.link][a.vc].push(a.pkt)
+		s.qpush(a.link, a.vc, a.pkt)
 	}
 
 	// 2. Ejection links: drain one packet per cycle to the terminal sink.
-	for term := int32(0); int(term) < s.numTerm; term++ {
-		link := s.ejLink(term)
-		if vc := s.pickVC(link); vc >= 0 {
-			id := s.queues[link][vc].pop()
-			s.occ[link]--
-			s.occVC[int(link)*s.numVC+int(vc)]--
-			// Latency includes the ejection channel traversal.
-			lat := s.clock - s.pkts[id].birth + int64(s.cfg.TerminalLatency)
-			h := s.pkts[id].path.Hops()
-			if h > s.maxHops {
-				s.maxHops = h
+	// Only links in the active set are visited (ejection links occupy the
+	// bitmap range [numNet+numTerm, numNet+2·numTerm)); the ascending bit
+	// scan matches the old full terminal scan's drain order. Queues only
+	// shrink during this step, so a live scan cannot miss a link.
+	if s.numTerm > 0 {
+		lo, hi := s.numNet+s.numTerm, s.numNet+2*s.numTerm
+		for w := lo >> 6; w <= (hi-1)>>6; w++ {
+			m := s.active[w]
+			if base := w << 6; base < lo {
+				m &= ^uint64(0) << uint(lo-base)
 			}
-			s.delivered++
-			if s.tel != nil {
-				s.tel.CountForward(link)
+			if top := (w + 1) << 6; top > hi {
+				m &= ^uint64(0) >> uint(top-hi)
+			}
+			for ; m != 0; m &= m - 1 {
+				link := int32(w<<6 + bits.TrailingZeros64(m))
+				vc := s.pickVC(link)
+				if vc < 0 {
+					continue
+				}
+				id := s.qpop(link, vc)
+				// Latency includes the ejection channel traversal.
+				lat := s.clock - s.pkts[id].birth + int64(s.cfg.TerminalLatency)
+				h := s.pkts[id].path.Hops()
+				if h > s.maxHops {
+					s.maxHops = h
+				}
+				s.delivered++
+				if s.tel != nil {
+					s.tel.CountForward(link)
+					if measuring {
+						s.tel.ObserveLatency(lat)
+					}
+				}
 				if measuring {
-					s.tel.ObserveLatency(lat)
+					s.deliveredMeas++
+					s.latSumMeas += lat
+					s.hopSumMeas += int64(h)
+					bucket := lat
+					if bucket >= int64(len(s.latHist)) {
+						bucket = int64(len(s.latHist)) - 1
+					}
+					s.latHist[bucket]++
+					*sampleLatSum += lat
+					*sampleCount++
 				}
+				s.freePkt(id)
 			}
-			if measuring {
-				s.deliveredMeas++
-				s.latSumMeas += lat
-				s.hopSumMeas += int64(h)
-				bucket := lat
-				if bucket >= int64(len(s.latHist)) {
-					bucket = int64(len(s.latHist)) - 1
-				}
-				s.latHist[bucket]++
-				*sampleLatSum += lat
-				*sampleCount++
-			}
-			s.freePkt(id)
 		}
 	}
 
 	// 3. Network links: each sends its arbitration winner if the packet's
-	// next queue has space.
-	for link := int32(0); int(link) < s.numNet; link++ {
-		if s.faults != nil && s.faults.LinkDown(link) {
-			continue
+	// next queue has space. Same active-set scan as step 2 over the range
+	// [0, numNet); empty links never even get looked at, which is what
+	// makes sub-saturation stepping occupancy-proportional.
+	for w := 0; w<<6 < s.numNet; w++ {
+		m := s.active[w]
+		if top := (w + 1) << 6; top > s.numNet {
+			m &= ^uint64(0) >> uint(top-s.numNet)
 		}
-		vc := s.pickVC(link)
-		if vc < 0 {
-			continue
-		}
-		id := s.queues[link][vc].peek()
-		p := &s.pkts[id]
-		nextLink, nextVC := s.nextHopOf(p)
-		if s.faults != nil && s.faults.LinkDown(nextLink) {
-			// The packet's next edge died after it was queued here: pull
-			// it out and reroute (or drop) from its current switch.
-			s.queues[link][vc].pop()
-			s.occ[link]--
-			s.occVC[int(link)*s.numVC+int(vc)]--
-			s.handleFaultPacket(id, p.path[p.hop])
-			continue
-		}
-		hasSpace := s.spaceIn(nextLink, nextVC)
-		if s.tel != nil {
-			if hasSpace {
-				s.tel.CountForward(link)
-			} else {
-				s.tel.CountStall(link)
+		for ; m != 0; m &= m - 1 {
+			link := int32(w<<6 + bits.TrailingZeros64(m))
+			if s.faults != nil && s.faults.LinkDown(link) {
+				continue
 			}
-		}
-		if hasSpace {
-			s.queues[link][vc].pop()
-			s.occ[link]--
-			s.occVC[int(link)*s.numVC+int(vc)]--
-			s.occ[nextLink]++
-			s.occVC[int(nextLink)*s.numVC+int(nextVC)]++
-			p.hop++
-			// The packet now traverses this network channel.
-			s.inflight.schedule(s.clock+int64(s.cfg.ChannelLatency),
-				arrival{pkt: id, link: nextLink, vc: nextVC})
+			vc := s.pickVC(link)
+			if vc < 0 {
+				continue
+			}
+			id := s.queues[link][vc].peek()
+			p := &s.pkts[id]
+			nextLink, nextVC := s.nextHopOf(p)
+			if s.faults != nil && s.faults.LinkDown(nextLink) {
+				// The packet's next edge died after it was queued here: pull
+				// it out and reroute (or drop) from its current switch.
+				s.qpop(link, vc)
+				s.handleFaultPacket(id, p.path[p.hop])
+				continue
+			}
+			hasSpace := s.spaceIn(nextLink, nextVC)
+			if s.tel != nil {
+				if hasSpace {
+					s.tel.CountForward(link)
+				} else {
+					s.tel.CountStall(link)
+				}
+			}
+			if hasSpace {
+				s.qpop(link, vc)
+				s.occ[nextLink]++
+				s.occVC[int(nextLink)*s.numVC+int(nextVC)]++
+				p.hop++
+				// The packet now traverses this network channel.
+				s.inflight.schedule(s.clock+int64(s.cfg.ChannelLatency),
+					arrival{pkt: id, link: nextLink, vc: nextVC})
+			}
 		}
 	}
 
@@ -563,60 +707,66 @@ func (s *Sim) step(measuring bool, sampleLatSum *int64, sampleCount *int64) {
 
 	// 4. Injection links: move the head of each terminal's source queue
 	// into the network. The path is chosen here — at network entry — so
-	// adaptive mechanisms see current queue state.
-	for term := int32(0); int(term) < s.numTerm; term++ {
-		q := &s.srcQueue[term]
-		if q.len() == 0 {
-			continue
-		}
-		id := q.peek()
-		p := &s.pkts[id]
-		if p.path != nil && s.faults != nil && p.path.Hops() > 0 &&
-			s.faults.LinkDown(s.g.LinkID(p.path[0], p.path[1])) {
-			// The path chosen while waiting for buffer space starts on a
-			// link that has since failed; choose again.
-			p.path = nil
-		}
-		if p.path == nil {
-			src := s.topo.SwitchOf(int(term))
-			dst := s.topo.SwitchOf(int(p.dstTerm))
-			var choice int
-			p.path, choice = s.choosePath(src, dst)
+	// adaptive mechanisms see current queue state. Only terminals with a
+	// nonempty source queue are visited, scanned ascending like the old
+	// full terminal loop; generation (step 5) runs after this step, so the
+	// bitmap only loses bits while we scan it.
+	for w := range s.srcActive {
+		m := s.srcActive[w]
+		for ; m != 0; m &= m - 1 {
+			term := int32(w<<6 + bits.TrailingZeros64(m))
+			q := &s.srcQueue[term]
+			id := q.peek()
+			p := &s.pkts[id]
+			if p.path != nil && s.faults != nil && len(p.links) > 0 &&
+				s.faults.LinkDown(p.links[0]) {
+				// The path chosen while waiting for buffer space starts on a
+				// link that has since failed; choose again.
+				p.path = nil
+			}
 			if p.path == nil {
-				if s.faults != nil {
-					// Faults severed every candidate and repair found no
-					// route; the packet cannot enter the network.
-					q.pop()
-					s.dropPkt(id)
-					continue
+				src := s.topo.SwitchOf(int(term))
+				dst := s.topo.SwitchOf(int(p.dstTerm))
+				path, choice := s.choosePath(src, dst)
+				if path == nil {
+					if s.faults != nil {
+						// Faults severed every candidate and repair found no
+						// route; the packet cannot enter the network.
+						s.srcPop(term)
+						s.dropPkt(id)
+						continue
+					}
+					panic(fmt.Sprintf("flitsim: no path %d->%d", src, dst))
 				}
-				panic(fmt.Sprintf("flitsim: no path %d->%d", src, dst))
+				if path.Hops() > s.numVC {
+					panic(fmt.Sprintf("flitsim: path with %d hops exceeds %d VCs", path.Hops(), s.numVC))
+				}
+				s.setPath(p, path)
+				if s.tel != nil && choice >= 0 {
+					s.tel.CountChoice(choice)
+				}
 			}
-			if p.path.Hops() > s.numVC {
-				panic(fmt.Sprintf("flitsim: path with %d hops exceeds %d VCs", p.path.Hops(), s.numVC))
+			nextLink, nextVC := s.firstLinkOf(p)
+			if !s.spaceIn(nextLink, nextVC) {
+				if s.tel != nil {
+					s.tel.CountStall(s.injLink(term))
+				}
+				continue
 			}
-			if s.tel != nil && choice >= 0 {
-				s.tel.CountChoice(choice)
-			}
-		}
-		nextLink, nextVC := s.firstLinkOf(p)
-		if !s.spaceIn(nextLink, nextVC) {
+			s.srcPop(term)
 			if s.tel != nil {
-				s.tel.CountStall(s.injLink(term))
+				s.tel.CountForward(s.injLink(term))
 			}
-			continue
+			s.occ[nextLink]++
+			s.occVC[int(nextLink)*s.numVC+int(nextVC)]++
+			s.inflight.schedule(s.clock+int64(s.cfg.TerminalLatency),
+				arrival{pkt: id, link: nextLink, vc: nextVC})
 		}
-		q.pop()
-		if s.tel != nil {
-			s.tel.CountForward(s.injLink(term))
-		}
-		s.occ[nextLink]++
-		s.occVC[int(nextLink)*s.numVC+int(nextVC)]++
-		s.inflight.schedule(s.clock+int64(s.cfg.TerminalLatency),
-			arrival{pkt: id, link: nextLink, vc: nextVC})
 	}
 
-	// 5. Generate new packets.
+	// 5. Generate new packets. This loop deliberately stays a full scan:
+	// every terminal draws from the RNG every cycle regardless of load, so
+	// seeds reproduce the exact same traffic as before the sparse rewrite.
 	if s.cfg.InjectionRate > 0 {
 		for term := 0; term < s.numTerm; term++ {
 			if s.rng.Float64() >= s.cfg.InjectionRate {
@@ -627,8 +777,9 @@ func (s *Sim) step(measuring bool, sampleLatSum *int64, sampleCount *int64) {
 				continue
 			}
 			id := s.allocPkt()
-			s.pkts[id] = packet{hop: 0, dstTerm: int32(dst), birth: s.clock, next: -1}
-			s.srcQueue[term].push(id)
+			s.pkts[id] = packet{hop: 0, dstTerm: int32(dst), birth: s.clock, next: -1,
+				links: s.pkts[id].links[:0]}
+			s.srcPush(int32(term), id)
 			s.injected++
 		}
 	}
@@ -640,15 +791,52 @@ func (s *Sim) step(measuring bool, sampleLatSum *int64, sampleCount *int64) {
 }
 
 // pickVC round-robins over the link's VCs and returns one with a queued
-// packet, or -1.
+// packet, or -1. The winner is resolved from the link's nonempty-VC
+// bitmask with bits.TrailingZeros64 — O(mask words) instead of O(numVC) —
+// and is exactly the VC the old modulo scan starting at rrVC would pick.
 func (s *Sim) pickVC(link int32) int32 {
+	base := int(link) * s.maskWords
 	start := s.rrVC[link]
-	for i := 0; i < s.numVC; i++ {
-		vc := (start + int32(i)) % int32(s.numVC)
-		if s.queues[link][vc].len() > 0 {
-			s.rrVC[link] = (vc + 1) % int32(s.numVC)
-			return vc
+	if s.maskWords == 1 {
+		m := s.vcMask[base]
+		if m == 0 {
+			return -1
 		}
+		var vc int32
+		if hi := m >> uint(start); hi != 0 {
+			vc = start + int32(bits.TrailingZeros64(hi))
+		} else {
+			vc = int32(bits.TrailingZeros64(m)) // wrap below start
+		}
+		s.rrVC[link] = (vc + 1) % int32(s.numVC)
+		return vc
+	}
+	return s.pickVCWide(base, start, link)
+}
+
+// pickVCWide handles links with more than 64 VCs: the start word's upper
+// bits, then the remaining words in circular order, then the start word's
+// bits below the round-robin pointer.
+func (s *Sim) pickVCWide(base int, start, link int32) int32 {
+	found := func(vc int32) int32 {
+		s.rrVC[link] = (vc + 1) % int32(s.numVC)
+		return vc
+	}
+	sw, sb := int(start)>>6, uint(start)&63
+	if m := s.vcMask[base+sw] >> sb; m != 0 {
+		return found(start + int32(bits.TrailingZeros64(m)))
+	}
+	for i := 1; i < s.maskWords; i++ {
+		w := sw + i
+		if w >= s.maskWords {
+			w -= s.maskWords
+		}
+		if m := s.vcMask[base+w]; m != 0 {
+			return found(int32(w<<6 + bits.TrailingZeros64(m)))
+		}
+	}
+	if m := s.vcMask[base+sw] & (1<<sb - 1); m != 0 {
+		return found(int32(sw<<6 + bits.TrailingZeros64(m)))
 	}
 	return -1
 }
@@ -656,22 +844,23 @@ func (s *Sim) pickVC(link int32) int32 {
 // firstLinkOf returns the first network link (or the ejection link for
 // zero-hop paths) a freshly injected packet enters, with its VC.
 func (s *Sim) firstLinkOf(p *packet) (int32, int32) {
-	if p.path.Hops() == 0 {
+	if len(p.links) == 0 {
 		return s.ejLink(p.dstTerm), 0
 	}
-	return s.g.LinkID(p.path[0], p.path[1]), 0
+	return p.links[0], 0
 }
 
 // nextHopOf returns the queue the packet enters after traversing its
 // current link. p.hop indexes the edge the packet is currently queued for.
 // Network hop h occupies VC h; the ejection queue (a pure sink) always
-// uses VC 0, so VC demand equals the maximum path hop count.
+// uses VC 0, so VC demand equals the maximum path hop count. Link ids come
+// from the packet's precomputed edge cache, not graph.LinkID.
 func (s *Sim) nextHopOf(p *packet) (int32, int32) {
 	nextEdge := int(p.hop) + 1
-	if nextEdge >= p.path.Hops() {
+	if nextEdge >= len(p.links) {
 		return s.ejLink(p.dstTerm), 0
 	}
-	return s.g.LinkID(p.path[nextEdge], p.path[nextEdge+1]), p.hop + 1
+	return p.links[nextEdge], p.hop + 1
 }
 
 // spaceIn reports whether (link, vc) can accept one more committed packet:

@@ -1,0 +1,62 @@
+package flitsim
+
+import "testing"
+
+// TestWheelScheduleBounds pins the hardened horizon checks: a delay is
+// representable only inside (now, now+len(slots)], and anything outside
+// panics instead of silently aliasing modulo the slot count onto the
+// wrong cycle.
+func TestWheelScheduleBounds(t *testing.T) {
+	w := newWheel(3) // 4 slots
+	n := int64(len(w.slots))
+	if n != 4 {
+		t.Fatalf("slots = %d, want 4", n)
+	}
+	w.take(10)
+
+	// In-window delays, including the exact boundary at now+len(slots):
+	// that slot was cleared by this cycle's take, so it fires at the right
+	// cycle.
+	for _, at := range []int64{11, 12, 13, 14} {
+		w.schedule(at, arrival{pkt: int32(at)})
+	}
+	for at := int64(11); at <= 14; at++ {
+		got := w.take(at)
+		if len(got) != 1 || got[0].pkt != int32(at) {
+			t.Fatalf("take(%d) = %v, want one arrival pkt=%d", at, got, at)
+		}
+	}
+
+	// Past or present cycles were already taken: must panic.
+	mustPanic(t, func() { w.schedule(14, arrival{}) })
+	mustPanic(t, func() { w.schedule(9, arrival{}) })
+	// One past the horizon window would alias onto the slot of cycle 15.
+	mustPanic(t, func() { w.schedule(19, arrival{}) })
+}
+
+// TestWheelWrapAround drives the wheel far past several slot-array
+// revolutions, interleaving schedules and takes, and checks every arrival
+// fires at exactly its scheduled cycle.
+func TestWheelWrapAround(t *testing.T) {
+	w := newWheel(5) // 6 slots
+	delays := []int64{1, 3, 6, 2, 5, 1, 4, 6}
+	pending := map[int64][]int32{}
+	next := int32(0)
+	for now := int64(0); now < 100; now++ {
+		got := w.take(now)
+		want := pending[now]
+		delete(pending, now)
+		if len(got) != len(want) {
+			t.Fatalf("cycle %d: %d arrivals, want %d", now, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].pkt != want[i] {
+				t.Fatalf("cycle %d arrival %d: pkt %d, want %d", now, i, got[i].pkt, want[i])
+			}
+		}
+		d := delays[now%int64(len(delays))]
+		w.schedule(now+d, arrival{pkt: next})
+		pending[now+d] = append(pending[now+d], next)
+		next++
+	}
+}

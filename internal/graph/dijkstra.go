@@ -34,6 +34,10 @@ func Dijkstra(g *Graph, src, dst NodeID, w WeightFunc, tie TieBreak, rng *xrand.
 		parent[i] = -1
 	}
 	done := make([]bool, n)
+	var tieCnt []int32 // equal-distance discoverers per node (TieRandom only)
+	if tie == TieRandom {
+		tieCnt = make([]int32, n)
+	}
 
 	pq := &dijkstraHeap{}
 	heap.Init(pq)
@@ -59,11 +63,20 @@ func Dijkstra(g *Graph, src, dst NodeID, w WeightFunc, tie TieBreak, rng *xrand.
 			case nd < dist[v]:
 				dist[v] = nd
 				parent[v] = u
+				if tie == TieRandom {
+					tieCnt[v] = 1
+				}
 				heap.Push(pq, dijkstraItem{node: v, dist: nd, tie: tieKey(v, tie, rng)})
 			case nd == dist[v] && tie == TieRandom:
-				// Uniformly re-sample the predecessor among ties; the heap
-				// entry need not change since the distance is equal.
-				if rng.Bool() {
+				// Reservoir-sample a uniform predecessor among all
+				// equal-distance discoverers (as SPEngine does): the i-th
+				// discoverer replaces the incumbent with probability 1/i,
+				// so each of k ties ends up chosen with probability 1/k. A
+				// plain coin flip here would hand later discoverers up to
+				// 1/2 regardless of the tie count. The heap entry need not
+				// change since the distance is equal.
+				tieCnt[v]++
+				if rng.IntN(int(tieCnt[v])) == 0 {
 					parent[v] = u
 				}
 			}

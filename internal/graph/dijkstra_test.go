@@ -1,0 +1,61 @@
+package graph
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// TestDijkstraTieUniform checks that TieRandom samples a predecessor
+// uniformly among all equal-cost alternatives. The weighted diamond below
+// gives the sink three cost-3 paths whose relaxation order is forced:
+//
+//	0 --1-- 1 --2-- 4
+//	0 --1-- 2 --2-- 4
+//	0 --2-- 3 --1-- 4
+//
+// Nodes 1 and 2 settle at distance 1 and relax the sink first; node 3
+// settles at distance 2 and always votes last. The pre-reservoir coin
+// flip handed the last voter probability 1/2 (and 1/4 to each earlier
+// one) regardless of the tie count; reservoir sampling with a per-node
+// tie counter restores 1/3 each.
+func TestDijkstraTieUniform(t *testing.T) {
+	b := NewBuilder(5)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 2)
+	b.AddEdge(0, 3)
+	b.AddEdge(1, 4)
+	b.AddEdge(2, 4)
+	b.AddEdge(3, 4)
+	g := b.Graph()
+	weights := map[[2]NodeID]float64{
+		{0, 1}: 1, {0, 2}: 1, {0, 3}: 2,
+		{1, 4}: 2, {2, 4}: 2, {3, 4}: 1,
+	}
+	w := func(u, v NodeID) float64 {
+		if u > v {
+			u, v = v, u
+		}
+		return weights[[2]NodeID{u, v}]
+	}
+
+	const trials = 3000
+	rng := xrand.New(1)
+	counts := map[NodeID]int{}
+	for i := 0; i < trials; i++ {
+		p, cost, ok := Dijkstra(g, 0, 4, w, TieRandom, rng)
+		if !ok || cost != 3 || len(p) != 3 {
+			t.Fatalf("path %v cost %v ok %v", p, cost, ok)
+		}
+		counts[p[1]]++
+	}
+	for _, mid := range []NodeID{1, 2, 3} {
+		frac := float64(counts[mid]) / trials
+		// 1/3 each; the old coin flip put the late voter (node 3) at 1/2
+		// and the early ones at 1/4, both far outside these bounds.
+		if frac < 0.29 || frac > 0.38 {
+			t.Errorf("predecessor %d chosen %.3f of trials, want ~0.333 (counts %v)",
+				mid, frac, counts)
+		}
+	}
+}
