@@ -9,12 +9,14 @@
 # "current" numbers against the committed BENCH_*.json baselines the way
 # benchstat compares runs — several repetitions, interleaved, on an idle
 # machine — before trusting a delta (docs/PERFORMANCE.md).
-.PHONY: check build test bench bench-routing bench-flit fmt lint race-faults
+.PHONY: check build test bench bench-routing bench-flit bench-paths fmt lint race-faults race-paths fuzz-paths
 
 check: fmt lint
 	go vet ./...
 	go test -race ./internal/telemetry/... ./internal/par/...
 	$(MAKE) race-faults
+	$(MAKE) race-paths
+	$(MAKE) fuzz-paths
 	go build ./...
 
 # gofmt -l prints offending files; fail if it prints anything.
@@ -39,13 +41,25 @@ lint:
 race-faults:
 	go test -race -run Fault ./...
 
+# The path DB mixes lock-free packed-store reads with mutex-guarded lazy
+# fills; run its concurrency regression tests under the race detector.
+race-paths:
+	go test -race -run 'Race|Concurrent' ./internal/paths
+
+# Short fuzz smoke of both path deserializers (text archive and binary
+# cache): 10s each on top of the committed corpus under
+# internal/paths/testdata/fuzz. Longer sessions: raise -fuzztime.
+fuzz-paths:
+	go test -fuzz=FuzzPathsRead -fuzztime=10s -run '^$$' ./internal/paths
+	go test -fuzz=FuzzCacheRead -fuzztime=10s -run '^$$' ./internal/paths
+
 build:
 	go build ./...
 
 test:
 	go test ./...
 
-bench: bench-routing bench-flit
+bench: bench-routing bench-flit bench-paths
 	go test -bench=. -benchmem ./...
 
 # Routing-engine microbenchmarks: ns/op and allocs/op of one Choose call
@@ -62,3 +76,10 @@ bench-routing:
 # docs/PERFORMANCE.md for the workflow and what the loads exercise.
 bench-flit:
 	go run ./internal/flitsim/benchjson -o BENCH_flitsim.json
+
+# Path-store benchmark: eager-build throughput, on-disk cache load
+# speedup and packed-vs-slice bytes/pair on the medium topology, written
+# to BENCH_paths.json (committed baseline; methodology in docs/PATHS.md).
+# Takes a minute or two: the build leg recomputes 50k pairs.
+bench-paths:
+	go run ./internal/paths/benchjson -o BENCH_paths.json

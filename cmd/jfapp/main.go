@@ -50,6 +50,7 @@ func main() {
 		dumpTraces   = flag.String("dump-traces", "", "write the synthetic DUMPI traces to this directory and exit")
 		tel          = cliflags.TelemetryFlags("one instrumented replay (first of -stencils, default 2DNN)")
 		faultFlags   = cliflags.FaultFlags()
+		pathCache    = cliflags.PathCache()
 		prof         = cliflags.ProfileFlags()
 	)
 	flag.Parse()
@@ -132,7 +133,7 @@ func main() {
 			BytesPerRank: *bytesPerRank,
 			FaultSpec:    *faultFlags.Spec,
 			FaultPolicy:  *faultFlags.Policy,
-		}, exp.Scale{K: *k, Seed: *seed, Workers: *workers})
+		}, exp.Scale{K: *k, Seed: *seed, Workers: *workers, PathCache: *pathCache})
 		if err != nil {
 			fatal(err)
 		}
@@ -155,6 +156,7 @@ func main() {
 		K:              *k,
 		Seed:           *seed,
 		Workers:        *workers,
+		PathCache:      *pathCache,
 	})
 	if err != nil {
 		fatal(err)

@@ -43,6 +43,7 @@ func main() {
 		workers        = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 		csv            = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		chart          = flag.Bool("chart", false, "render saturation results as a text bar chart")
+		pathCache      = cliflags.PathCache()
 		prof           = cliflags.ProfileFlags()
 	)
 	flag.Parse()
@@ -75,6 +76,7 @@ func main() {
 		K:              *k,
 		Seed:           *seed,
 		Workers:        *workers,
+		PathCache:      *pathCache,
 	}
 
 	var t *stats.Table

@@ -58,6 +58,7 @@ func main() {
 
 		faultFlags = cliflags.FaultFlags()
 		faultSweep = flag.String("fault-sweep", "", "comma-separated failed-link counts: run delivered-throughput vs. failures for all selectors and mechanisms")
+		pathCache  = cliflags.PathCache()
 		prof       = cliflags.ProfileFlags()
 	)
 	flag.Parse()
@@ -71,13 +72,13 @@ func main() {
 	defer prof.Stop()
 
 	if *faultSweep != "" {
-		if err := runFaultSweep(*faultSweep, *topos, *pattern, *faultFlags.Policy, *rate, *k, *topoSamples, *seed, *workers, *csv); err != nil {
+		if err := runFaultSweep(*faultSweep, *topos, *pattern, *faultFlags.Policy, *rate, *k, *topoSamples, *seed, *workers, *pathCache, *csv); err != nil {
 			fatal(err)
 		}
 		return
 	}
 	if *tel.Dir != "" {
-		if err := runTelemetry(*tel.Dir, *topos, *tel.Selector, *mechanism, *pattern, *faultFlags.Spec, *faultFlags.Policy, *rate, *k, *seed, *workers); err != nil {
+		if err := runTelemetry(*tel.Dir, *topos, *tel.Selector, *mechanism, *pattern, *faultFlags.Spec, *faultFlags.Policy, *rate, *k, *seed, *workers, *pathCache); err != nil {
 			fatal(err)
 		}
 		return
@@ -93,6 +94,7 @@ func main() {
 		PairSample:  *pairs,
 		Seed:        *seed,
 		Workers:     *workers,
+		PathCache:   *pathCache,
 	}
 
 	emit := func(t *stats.Table) {
@@ -136,7 +138,7 @@ func main() {
 
 // runTelemetry executes one instrumented cycle-level run and exports the
 // telemetry files. The first topology of -topos is used.
-func runTelemetry(dir, topos, selector, mechanism, pattern, faultSpec, faultPolicy string, rate float64, k int, seed uint64, workers int) error {
+func runTelemetry(dir, topos, selector, mechanism, pattern, faultSpec, faultPolicy string, rate float64, k int, seed uint64, workers int, pathCache string) error {
 	params, err := jellyfish.ByName(strings.TrimSpace(strings.Split(topos, ",")[0]))
 	if err != nil {
 		return err
@@ -157,7 +159,7 @@ func runTelemetry(dir, topos, selector, mechanism, pattern, faultSpec, faultPoli
 		Rate:        rate,
 		FaultSpec:   faultSpec,
 		FaultPolicy: faultPolicy,
-	}, exp.Scale{K: k, Seed: seed, Workers: workers})
+	}, exp.Scale{K: k, Seed: seed, Workers: workers, PathCache: pathCache})
 	if err != nil {
 		return err
 	}
@@ -186,7 +188,7 @@ func runTelemetry(dir, topos, selector, mechanism, pattern, faultSpec, faultPoli
 
 // runFaultSweep runs the dynamic fault-injection experiment on the first
 // topology of -topos and prints one table per routing mechanism.
-func runFaultSweep(counts, topos, pattern, faultPolicy string, rate float64, k, topoSamples int, seed uint64, workers int, csv bool) error {
+func runFaultSweep(counts, topos, pattern, faultPolicy string, rate float64, k, topoSamples int, seed uint64, workers int, pathCache string, csv bool) error {
 	params, err := jellyfish.ByName(strings.TrimSpace(strings.Split(topos, ",")[0]))
 	if err != nil {
 		return err
@@ -209,7 +211,7 @@ func runFaultSweep(counts, topos, pattern, faultPolicy string, rate float64, k, 
 		FailedLinks:   failed,
 		InjectionRate: rate,
 		Policy:        policy,
-	}, exp.Scale{TopoSamples: topoSamples, K: k, Seed: seed, Workers: workers})
+	}, exp.Scale{TopoSamples: topoSamples, K: k, Seed: seed, Workers: workers, PathCache: pathCache})
 	if err != nil {
 		return err
 	}

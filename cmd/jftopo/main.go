@@ -5,6 +5,14 @@
 //	jftopo -topo small -bisection 50        # bisection-width estimate
 //	jftopo -topo small -disjoint 8,16       # verify the k-disjoint-paths claim
 //
+// With -path-cache and -warm-paths it pre-populates the on-disk path-DB
+// cache the experiment binaries read via their own -path-cache flag:
+//
+//	jftopo -topo large -warm-paths all -k 8 -path-cache /var/tmp/jfpaths
+//
+// uses the same seed derivation as jfnet/jfflit/jfapp, so later runs with
+// matching -seed, -k and -path-cache start from cache hits (docs/PATHS.md).
+//
 // Archived instances reload bit-identically, so experiment results can be
 // tied to the exact topology they ran on.
 package main
@@ -16,9 +24,11 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/cliflags"
 	"repro/internal/exp"
 	"repro/internal/graph"
 	"repro/internal/jellyfish"
+	"repro/internal/ksp"
 	"repro/internal/xrand"
 )
 
@@ -34,6 +44,11 @@ func main() {
 		disjoint  = flag.String("disjoint", "", "verify k edge-disjoint paths exist, comma-separated ks")
 		pairs     = flag.Int("pairs", 2000, "pair sample size for -disjoint (0 = all pairs)")
 		workers   = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+
+		warmPaths   = flag.String("warm-paths", "", "pre-build the path cache for these selectors (comma-separated, or all)")
+		warmK       = flag.Int("k", 8, "paths per switch pair for -warm-paths")
+		topoSamples = flag.Int("topo-samples", 1, "RRG instances to warm for -warm-paths")
+		pathCache   = cliflags.PathCache()
 	)
 	flag.Parse()
 
@@ -87,6 +102,27 @@ func main() {
 		fmt.Printf("bisection width <= %d (%d trials); full bisection bandwidth ratio %.2f\n",
 			w, *bisection, float64(w)/float64(topo.G.NumEdges()))
 	}
+	if *warmPaths != "" {
+		if *load != "" {
+			fatal(fmt.Errorf("-warm-paths derives topologies from -topo/-custom and -seed; it cannot warm a -load archive"))
+		}
+		if *pathCache == "" {
+			fatal(fmt.Errorf("-warm-paths needs -path-cache"))
+		}
+		algs, aerr := parseSelectors(*warmPaths)
+		if aerr != nil {
+			fatal(aerr)
+		}
+		err := exp.WarmPathCache([]jellyfish.Params{p}, algs, exp.Scale{
+			TopoSamples: *topoSamples, K: *warmK, Seed: *seed,
+			Workers: *workers, PathCache: *pathCache,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("warmed %s for %d selector(s) x %d sample(s) in %s\n",
+			p, len(algs), *topoSamples, *pathCache)
+	}
 	if *disjoint != "" {
 		ks, kerr := parseInts(*disjoint)
 		if kerr != nil {
@@ -101,6 +137,23 @@ func main() {
 		fmt.Println(res.Table(fmt.Sprintf(
 			"Edge-disjoint path existence over %d pairs", res.Pairs)).String())
 	}
+}
+
+// parseSelectors resolves a comma-separated selector list ("all" = every
+// selector) through ksp.ByName.
+func parseSelectors(spec string) ([]ksp.Algorithm, error) {
+	if strings.TrimSpace(spec) == "all" {
+		return ksp.Algorithms[:], nil
+	}
+	var algs []ksp.Algorithm
+	for _, name := range strings.Split(spec, ",") {
+		alg, err := ksp.ByName(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		algs = append(algs, alg)
+	}
+	return algs, nil
 }
 
 func resolveParams(name, custom string) (jellyfish.Params, error) {

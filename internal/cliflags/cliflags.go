@@ -117,6 +117,18 @@ func (p *Profile) Stop() {
 	}
 }
 
+// PathCache registers the shared -path-cache flag: a directory for the
+// on-disk path-DB cache. Empty (the default) leaves caching off and the
+// binaries computing path sets lazily as before; a directory makes every
+// experiment load its packed all-pairs DB from disk when a matching
+// cache file exists and build-then-store it when not. The cache key
+// covers topology, selector, k and seed, so a shared directory is safe
+// across binaries and invocations (see docs/PATHS.md).
+func PathCache() *string {
+	return flag.String("path-cache", "",
+		"directory for the on-disk path-DB cache (empty = recompute paths in-process)")
+}
+
 // Faults is the flag pair behind fault injection.
 type Faults struct {
 	// Spec is the -faults schedule spec ("" = no faults).

@@ -8,7 +8,6 @@ import (
 	"repro/internal/jellyfish"
 	"repro/internal/ksp"
 	"repro/internal/model"
-	"repro/internal/paths"
 	"repro/internal/routing"
 	"repro/internal/stats"
 	"repro/internal/traffic"
@@ -100,7 +99,10 @@ func AblationUGALBias(params jellyfish.Params, biases []int, rates []float64, sc
 	}
 	m := graph.ComputeMetrics(topo.G, sc.Workers)
 	numVC := 3*int(m.Diameter) + 2
-	db := paths.NewDB(topo.G, ksp.Config{Alg: ksp.REDKSP, K: sc.K}, sc.pathSeed(0, ksp.REDKSP))
+	db, err := sc.pathDB(topo, ksp.REDKSP, 0)
+	if err != nil {
+		return nil, err
+	}
 	sampler := traffic.NewFixedSampler(
 		traffic.RandomPermutation(topo.NumTerminals(), sc.patternSeed(0, 0)))
 	res.Sat = make([][]float64, len(biases))
@@ -162,7 +164,10 @@ func LoadImbalance(params jellyfish.Params, sc Scale) (*LoadImbalanceResult, err
 		Selectors: SelectorNames(false),
 	}
 	for _, alg := range ksp.Algorithms {
-		db := paths.NewDB(topo.G, ksp.Config{Alg: alg, K: sc.K}, sc.pathSeed(0, alg))
+		db, err := sc.pathDB(topo, alg, 0)
+		if err != nil {
+			return nil, err
+		}
 		res.Stats = append(res.Stats, model.LoadImbalance(topo, db, pat, sc.Workers))
 	}
 	return res, nil

@@ -100,7 +100,9 @@ func AppCommTimes(cfg AppConfig, sc Scale) (*AppResult, error) {
 		}
 		dbs := make([]*paths.DB, len(cfg.Selectors))
 		for ai, alg := range cfg.Selectors {
-			dbs[ai] = paths.NewDB(topo.G, ksp.Config{Alg: alg, K: sc.K}, sc.pathSeed(ti, alg))
+			if dbs[ai], err = sc.pathDB(topo, alg, ti); err != nil {
+				return nil, err
+			}
 		}
 		for si, kind := range cfg.Stencils {
 			w := traffic.Stencil(traffic.StencilConfig{

@@ -12,8 +12,11 @@
 package exp
 
 import (
+	"fmt"
+
 	"repro/internal/jellyfish"
 	"repro/internal/ksp"
+	"repro/internal/paths"
 	"repro/internal/xrand"
 )
 
@@ -34,6 +37,12 @@ type Scale struct {
 	Workers int
 	// Seed derives all randomness.
 	Seed uint64
+	// PathCache is a directory for the on-disk path-DB cache ("" = off).
+	// When set, experiments obtain their path DBs through
+	// paths.LoadOrBuild: the first run on a (topology, selector, k, seed)
+	// combination pays an eager all-pairs build and writes a cache file;
+	// every later run streams the packed store back in. See docs/PATHS.md.
+	PathCache string
 }
 
 // PaperModelScale is the paper's protocol for the throughput-model figures.
@@ -87,6 +96,66 @@ func (sc Scale) pathSeed(i int, alg ksp.Algorithm) uint64 {
 // buildTopo constructs the i-th topology sample.
 func (sc Scale) buildTopo(p jellyfish.Params, i int) (*jellyfish.Topology, error) {
 	return jellyfish.New(p, sc.topoSeed(i))
+}
+
+// pathDB returns the path DB for one selector on the i-th topology
+// sample. Without a cache directory this is the historical lazy DB
+// (pairs computed on first use); with Scale.PathCache set it is a
+// cache-backed all-ordered-pairs DB via paths.LoadOrBuild. Both fill
+// identical path sets for any pair — per-pair reseeding makes lazy and
+// eager computation interchangeable — so results do not depend on
+// whether the cache is enabled.
+func (sc Scale) pathDB(topo *jellyfish.Topology, alg ksp.Algorithm, ti int) (*paths.DB, error) {
+	cfg := ksp.Config{Alg: alg, K: sc.K}
+	seed := sc.pathSeed(ti, alg)
+	if sc.PathCache == "" {
+		return paths.NewDB(topo.G, cfg, seed), nil
+	}
+	db, _, err := paths.LoadOrBuild(sc.PathCache, topo.G, cfg, seed,
+		paths.AllOrderedPairs(topo.G.NumNodes()), sc.Workers)
+	return db, err
+}
+
+// pathDBPairs is pathDB for experiments that precompute an explicit pair
+// list (e.g. the static fault-resilience sweep): an eager uncached build
+// when no cache directory is set, LoadOrBuild on those exact pairs
+// otherwise (the cache key covers the pair list, so a sampled subset
+// never aliases an all-pairs entry).
+func (sc Scale) pathDBPairs(topo *jellyfish.Topology, alg ksp.Algorithm, ti int, prs []paths.Pair) (*paths.DB, error) {
+	cfg := ksp.Config{Alg: alg, K: sc.K}
+	seed := sc.pathSeed(ti, alg)
+	if sc.PathCache == "" {
+		return paths.Build(topo.G, cfg, seed, prs, sc.Workers), nil
+	}
+	db, _, err := paths.LoadOrBuild(sc.PathCache, topo.G, cfg, seed, prs, sc.Workers)
+	return db, err
+}
+
+// WarmPathCache eagerly populates Scale.PathCache with the all-pairs
+// DBs the experiments on paramsList would build: one cache file per
+// (topology sample, selector). Later jfnet/jfflit/jfapp runs with the
+// same -seed, -k and -path-cache then start from cache hits instead of
+// Dijkstra storms — the intended workflow for the large topology, where
+// the build dominates wall time (see docs/PATHS.md).
+func WarmPathCache(paramsList []jellyfish.Params, algs []ksp.Algorithm, sc Scale) error {
+	sc = sc.withDefaults()
+	if sc.PathCache == "" {
+		return fmt.Errorf("exp: WarmPathCache needs a cache directory")
+	}
+	for _, p := range paramsList {
+		for ti := 0; ti < sc.TopoSamples; ti++ {
+			topo, err := sc.buildTopo(p, ti)
+			if err != nil {
+				return err
+			}
+			for _, alg := range algs {
+				if _, err := sc.pathDB(topo, alg, ti); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
 }
 
 // SelectorNames returns the paper's presentation order including the

@@ -61,7 +61,9 @@ func FaultResilience(params jellyfish.Params, failedLinks []int, sc Scale) (*Fau
 	// Precompute all path sets once per selector.
 	dbs := make([]*paths.DB, len(ksp.Algorithms))
 	for ai, alg := range ksp.Algorithms {
-		dbs[ai] = paths.Build(topo.G, ksp.Config{Alg: alg, K: sc.K}, sc.pathSeed(0, alg), prs, sc.Workers)
+		if dbs[ai], err = sc.pathDBPairs(topo, alg, 0, prs); err != nil {
+			return nil, err
+		}
 	}
 	nEdges := topo.G.NumEdges()
 	res.Survive = make([][]float64, len(failedLinks))
@@ -249,7 +251,9 @@ func FaultRun(cfg FaultRunConfig, sc Scale) (*FaultRunResult, error) {
 		}
 		dbs[ti] = make([]*paths.DB, len(ksp.Algorithms))
 		for ai, alg := range ksp.Algorithms {
-			dbs[ti][ai] = paths.NewDB(topo.G, ksp.Config{Alg: alg, K: sc.K}, sc.pathSeed(ti, alg))
+			if dbs[ti][ai], err = sc.pathDB(topo, alg, ti); err != nil {
+				return nil, err
+			}
 		}
 		scheds[ti] = make([][]*faults.Schedule, sc.PatternSamples)
 		for pi := 0; pi < sc.PatternSamples; pi++ {

@@ -102,7 +102,9 @@ func FlitSaturation(cfg FlitConfig, sc Scale) (*SaturationResult, error) {
 		}
 		dbs[ti] = make([]*paths.DB, len(ksp.Algorithms))
 		for ai, alg := range ksp.Algorithms {
-			dbs[ti][ai] = paths.NewDB(topo.G, ksp.Config{Alg: alg, K: sc.K}, sc.pathSeed(ti, alg))
+			if dbs[ti][ai], err = sc.pathDB(topo, alg, ti); err != nil {
+				return nil, err
+			}
 		}
 	}
 
@@ -221,7 +223,10 @@ func FlitLatencyCurve(cfg FlitConfig, mech routing.Mechanism, sc Scale) (*CurveR
 		return nil, err
 	}
 	for ai, alg := range ksp.Algorithms {
-		db := paths.NewDB(topo.G, ksp.Config{Alg: alg, K: sc.K}, sc.pathSeed(0, alg))
+		db, err := sc.pathDB(topo, alg, 0)
+		if err != nil {
+			return nil, err
+		}
 		base := flitsim.Config{
 			Topo:      topo,
 			Paths:     db,

@@ -64,10 +64,12 @@ func ModelThroughput(cfg ModelConfig, sc Scale) (*ModelFigureResult, error) {
 			return nil, err
 		}
 		nTerms := topo.NumTerminals()
-		// One lazy DB per selector per topology sample: patterns share it.
+		// One DB per selector per topology sample: patterns share it.
 		dbs := make([]*paths.DB, len(ksp.Algorithms))
 		for ai, alg := range ksp.Algorithms {
-			dbs[ai] = paths.NewDB(topo.G, ksp.Config{Alg: alg, K: sc.K}, sc.pathSeed(ti, alg))
+			if dbs[ai], err = sc.pathDB(topo, alg, ti); err != nil {
+				return nil, err
+			}
 		}
 		for pi, patName := range cfg.Patterns {
 			nInst := sc.PatternSamples

@@ -95,8 +95,21 @@ func PathProps(paramsList []jellyfish.Params, algs []ksp.Algorithm, sc Scale) (*
 				pairs = paths.AllOrderedPairs(p.N)
 			}
 			for a, alg := range algs {
-				q := paths.Analyze(topo.G, ksp.Config{Alg: alg, K: sc.K},
-					sc.pathSeed(i, alg), pairs, sc.Workers)
+				var q paths.Quality
+				if sc.PathCache == "" {
+					q = paths.Analyze(topo.G, ksp.Config{Alg: alg, K: sc.K},
+						sc.pathSeed(i, alg), pairs, sc.Workers)
+				} else {
+					// Cache-backed: load (or build once and store) the
+					// packed DB for these exact pairs, then aggregate
+					// from it. Same numbers as Analyze, minus the
+					// recomputation on repeat runs.
+					db, err := sc.pathDBPairs(topo, alg, i, pairs)
+					if err != nil {
+						return nil, err
+					}
+					q = paths.AnalyzeDB(db, pairs, sc.Workers)
+				}
 				row[a].Pairs += q.Pairs
 				row[a].AvgLen += q.AvgLen
 				row[a].DisjointFraction += q.DisjointFraction

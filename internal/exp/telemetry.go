@@ -9,7 +9,6 @@ import (
 	"repro/internal/graph"
 	"repro/internal/jellyfish"
 	"repro/internal/ksp"
-	"repro/internal/paths"
 	"repro/internal/routing"
 	"repro/internal/telemetry"
 	"repro/internal/traffic"
@@ -72,7 +71,10 @@ func FlitTelemetryRun(cfg FlitTelemetryConfig, sc Scale) (flitsim.Result, *telem
 		return zero, nil, telemetry.Manifest{}, err
 	}
 	m := graph.ComputeMetrics(topo.G, sc.Workers)
-	db := paths.NewDB(topo.G, ksp.Config{Alg: cfg.Selector, K: sc.K}, sc.pathSeed(0, cfg.Selector))
+	db, err := sc.pathDB(topo, cfg.Selector, 0)
+	if err != nil {
+		return zero, nil, telemetry.Manifest{}, err
+	}
 	col := telemetry.NewCollector()
 	sim, err := flitsim.NewSim(flitsim.Config{
 		Topo:          topo,
@@ -163,7 +165,10 @@ func AppTelemetryRun(cfg AppTelemetryConfig, sc Scale) (appsim.Result, *telemetr
 	if err != nil {
 		return zero, nil, telemetry.Manifest{}, err
 	}
-	db := paths.NewDB(topo.G, ksp.Config{Alg: cfg.Selector, K: sc.K}, sc.pathSeed(0, cfg.Selector))
+	db, err := sc.pathDB(topo, cfg.Selector, 0)
+	if err != nil {
+		return zero, nil, telemetry.Manifest{}, err
+	}
 	col := telemetry.NewCollector()
 	res, err := appsim.Run(appsim.Config{
 		Topo:        topo,

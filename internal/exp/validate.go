@@ -6,7 +6,6 @@ import (
 	"repro/internal/fairshare"
 	"repro/internal/jellyfish"
 	"repro/internal/ksp"
-	"repro/internal/paths"
 	"repro/internal/stats"
 	"repro/internal/traffic"
 
@@ -43,7 +42,10 @@ func ValidateModel(params jellyfish.Params, sc Scale) (*ModelValidationResult, e
 		FairMean:  make([]float64, len(ksp.Algorithms)),
 	}
 	for ai, alg := range ksp.Algorithms {
-		db := paths.NewDB(topo.G, ksp.Config{Alg: alg, K: sc.K}, sc.pathSeed(0, alg))
+		db, err := sc.pathDB(topo, alg, 0)
+		if err != nil {
+			return nil, err
+		}
 		for inst := 0; inst < sc.PatternSamples; inst++ {
 			pat := traffic.RandomShift(topo.NumTerminals(), sc.patternSeed(0, inst))
 			res.ModelMean[ai] += model.Throughput(topo, db, pat, sc.Workers).MeanNode

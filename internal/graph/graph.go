@@ -13,7 +13,9 @@
 package graph
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"sort"
 )
 
@@ -132,6 +134,29 @@ func (b *Builder) Graph() *Graph {
 
 // NumNodes returns the number of nodes.
 func (g *Graph) NumNodes() int { return g.n }
+
+// Fingerprint returns a 64-bit FNV-1a hash of the graph's structure: the
+// node count and every (sorted) adjacency list. Two graphs are
+// fingerprint-equal exactly when they have the same node count and edge
+// set, so the on-disk path cache can key archived databases to the exact
+// topology instance they were computed on.
+func (g *Graph) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	put(uint64(g.n))
+	put(uint64(g.m))
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.adj[u] {
+			put(uint64(uint32(v)))
+		}
+		put(^uint64(0)) // per-list terminator: [0,1],[2] != [0],[1,2]
+	}
+	return h.Sum64()
+}
 
 // NumEdges returns the number of undirected edges.
 func (g *Graph) NumEdges() int { return g.m }

@@ -117,6 +117,30 @@ type Config struct {
 	DisableEDFallback bool
 }
 
+// Canonical renders the configuration as the canonical string used to
+// derive path-cache keys (see internal/paths): two Configs map to the
+// same string exactly when they select identical path sets on every
+// graph. LLSKR's zero-value defaults are normalized, and the LLSKR knobs
+// are omitted for the other algorithms, which ignore them.
+func (c Config) Canonical() string {
+	spread, minPaths := 0, 0
+	if c.Alg == LLSKR {
+		spread = c.LLSKRSpread
+		if spread == 0 {
+			spread = 1
+		}
+		minPaths = c.LLSKRMin
+		if minPaths == 0 {
+			minPaths = 2
+		}
+		if minPaths > c.K {
+			minPaths = c.K
+		}
+	}
+	return fmt.Sprintf("alg=%s k=%d spread=%d min=%d nofb=%t",
+		c.Alg, c.K, spread, minPaths, c.DisableEDFallback)
+}
+
 // Computer computes path sets for one graph under one Config. It is not
 // safe for concurrent use; parallel workers each create their own Computer
 // over the shared graph (see paths.BuildDB).

@@ -73,6 +73,39 @@ func ForWorker[S any](n, workers int, setup func() S, body func(i int, state S))
 	wg.Wait()
 }
 
+// ForShards splits [0, n) into one contiguous shard per worker and runs
+// body(lo, hi) once per shard, concurrently. Unlike For's dynamic
+// chunking, every worker owns one contiguous index range, so callers can
+// write disjoint precomputed regions of shared output (e.g. a packed
+// arena behind prefix-summed offsets) without locking. Shard boundaries
+// depend only on (n, workers), never on scheduling.
+func ForShards(n, workers int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		body(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		lo := n * w / workers
+		hi := n * (w + 1) / workers
+		go func() {
+			defer wg.Done()
+			body(lo, hi)
+		}()
+	}
+	wg.Wait()
+}
+
 // MapReduce runs body(i) for every i in [0, n) and merges per-worker
 // partial results. setup creates a worker-local accumulator; merge folds
 // each accumulator into the final result under a lock, in worker-completion

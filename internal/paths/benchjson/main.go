@@ -1,0 +1,206 @@
+// Command benchjson benchmarks the packed path store and its on-disk
+// cache on the paper's medium topology and writes the results as JSON,
+// so `make bench` can track the path pipeline across commits
+// (BENCH_paths.json at the repo root is the committed baseline):
+//
+//	go run ./internal/paths/benchjson -o BENCH_paths.json
+//
+// Three quantities matter (methodology in docs/PATHS.md):
+//
+//   - build throughput: pairs/sec of a shard-parallel eager build on a
+//     sampled pair set of RRG(720,24,19);
+//   - cache-load speedup: wall time of streaming the packed store back
+//     from a cache file versus recomputing it (the win -path-cache buys);
+//   - bytes/pair: resident size of the CSR-packed store versus the
+//     per-path slice representation it replaced, modeled from the
+//     allocations that representation performs (size-class rounded).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/jellyfish"
+	"repro/internal/ksp"
+	"repro/internal/paths"
+	"repro/internal/xrand"
+)
+
+type report struct {
+	Topology string `json:"topology"`
+	Selector string `json:"selector"`
+	K        int    `json:"k"`
+	Pairs    int    `json:"pairs"`
+	Workers  int    `json:"workers"`
+
+	BuildSeconds     float64 `json:"build_seconds"`
+	BuildPairsPerSec float64 `json:"build_pairs_per_sec"`
+
+	CacheFileBytes   int64   `json:"cache_file_bytes"`
+	CacheLoadSeconds float64 `json:"cache_load_seconds"`
+	CacheSpeedup     float64 `json:"cache_speedup"`
+
+	PackedBytesPerPair float64 `json:"packed_bytes_per_pair"`
+	SliceBytesPerPair  float64 `json:"slice_bytes_per_pair"`
+	PackedFraction     float64 `json:"packed_fraction"`
+}
+
+func main() {
+	var (
+		out      = flag.String("o", "BENCH_paths.json", "output file")
+		topoName = flag.String("topo", "medium", "topology: small, medium or large")
+		nPairs   = flag.Int("pairs", 50000, "sampled switch pairs (0 = all ordered pairs)")
+		k        = flag.Int("k", 8, "paths per pair")
+		selector = flag.String("selector", "rEDKSP", "path selector")
+		seed     = flag.Uint64("seed", 1, "build seed")
+		workers  = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	params, err := jellyfish.ByName(*topoName)
+	if err != nil {
+		fatal(err)
+	}
+	alg, err := ksp.ByName(*selector)
+	if err != nil {
+		fatal(err)
+	}
+	topo, err := jellyfish.New(params, xrand.New(7))
+	if err != nil {
+		fatal(err)
+	}
+	g := topo.G
+	var prs []paths.Pair
+	if *nPairs > 0 {
+		prs = paths.SamplePairs(params.N, *nPairs, xrand.New(11))
+	} else {
+		prs = paths.AllOrderedPairs(params.N)
+	}
+	cfg := ksp.Config{Alg: alg, K: *k}
+
+	fmt.Printf("building %s %s k=%d over %d pairs...\n", params, alg, *k, len(prs))
+	start := time.Now()
+	db := paths.Build(g, cfg, *seed, prs, *workers)
+	buildSec := time.Since(start).Seconds()
+
+	dir, err := os.MkdirTemp("", "jfpc-bench")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	key := paths.CacheKey(g, cfg, *seed, prs)
+	file := filepath.Join(dir, paths.CacheFileName(key))
+	f, err := os.Create(file)
+	if err != nil {
+		fatal(err)
+	}
+	if err := db.WriteCache(f, key); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fi, err := os.Stat(file)
+	if err != nil {
+		fatal(err)
+	}
+
+	start = time.Now()
+	loaded, cs, err := paths.LoadOrBuild(dir, g, cfg, *seed, prs, *workers)
+	loadSec := time.Since(start).Seconds()
+	if err != nil {
+		fatal(err)
+	}
+	if !cs.Hit {
+		fatal(fmt.Errorf("expected a cache hit, got a rebuild (%v)", cs.LoadErr))
+	}
+
+	st, ok := loaded.StoreStats()
+	if !ok {
+		fatal(fmt.Errorf("cache-loaded DB has no packed store"))
+	}
+
+	rep := report{
+		Topology:           params.String(),
+		Selector:           alg.String(),
+		K:                  *k,
+		Pairs:              len(prs),
+		Workers:            *workers,
+		BuildSeconds:       buildSec,
+		BuildPairsPerSec:   float64(len(prs)) / buildSec,
+		CacheFileBytes:     fi.Size(),
+		CacheLoadSeconds:   loadSec,
+		CacheSpeedup:       buildSec / loadSec,
+		PackedBytesPerPair: float64(st.TotalBytes) / float64(st.Pairs),
+		SliceBytesPerPair:  sliceBytesPerPair(db, prs),
+	}
+	rep.PackedFraction = rep.PackedBytesPerPair / rep.SliceBytesPerPair
+
+	fmt.Printf("build: %.1fs (%.0f pairs/sec, workers=%d)\n", rep.BuildSeconds, rep.BuildPairsPerSec, *workers)
+	fmt.Printf("cache: %d bytes on disk, load %.2fs -> %.1fx faster than rebuild\n",
+		rep.CacheFileBytes, rep.CacheLoadSeconds, rep.CacheSpeedup)
+	fmt.Printf("store: %.1f bytes/pair packed vs %.1f bytes/pair as slices (%.0f%%)\n",
+		rep.PackedBytesPerPair, rep.SliceBytesPerPair, rep.PackedFraction*100)
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Println("wrote", *out)
+}
+
+// sliceBytesPerPair computes the resident footprint of the pre-CSR
+// representation — a map from pair key to a slice of individually
+// allocated paths — from the allocations that representation performs:
+// one map entry, one []graph.Path backing array and one node array per
+// path, each rounded up to the allocator's size class the way the
+// runtime would round it. Deterministic by construction, so the
+// committed baseline does not wobble with GC timing.
+func sliceBytesPerPair(db *paths.DB, prs []paths.Pair) float64 {
+	if len(prs) == 0 {
+		return 0
+	}
+	const (
+		pathHeaderBytes = 24       // slice header in the []graph.Path array
+		nodeBytes       = 4        // graph.NodeID
+		mapEntryBytes   = 2*8 + 24 // key + value header, ~2x for buckets
+	)
+	var total int64
+	for _, pr := range prs {
+		ps := db.Paths(pr.Src, pr.Dst)
+		total += 2 * mapEntryBytes
+		total += roundSizeClass(int64(len(ps)) * pathHeaderBytes)
+		for _, p := range ps {
+			total += roundSizeClass(int64(len(p)) * nodeBytes)
+		}
+	}
+	return float64(total) / float64(len(prs))
+}
+
+// roundSizeClass rounds a small-object allocation up the way the Go
+// allocator does: to the next size class below 1 KiB (the classes path
+// node arrays and header arrays land in), to 8-byte alignment above.
+func roundSizeClass(n int64) int64 {
+	classes := []int64{8, 16, 24, 32, 48, 64, 80, 96, 112, 128,
+		144, 160, 176, 192, 208, 224, 240, 256, 288, 320, 352, 384,
+		416, 448, 480, 512, 576, 640, 704, 768, 896, 1024}
+	for _, c := range classes {
+		if n <= c {
+			return c
+		}
+	}
+	return (n + 7) &^ 7
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

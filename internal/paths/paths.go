@@ -30,18 +30,24 @@ func pairKey(s, d graph.NodeID) uint64 {
 }
 
 // DB holds the computed path sets for one graph, one selector config and
-// one seed. Reads of precomputed pairs are lock-free on the fast path;
-// missing pairs are computed lazily under a lock, yielding exactly the
-// same paths an eager build would have produced (per-pair reseeding).
+// one seed. Eagerly built (or cache-loaded) pairs live in an immutable
+// CSR-packed store — one flat node arena plus per-pair offsets — and are
+// read without any locking; missing pairs are computed lazily under a
+// lock, yielding exactly the same paths an eager build would have
+// produced (per-pair reseeding).
 type DB struct {
 	g    *graph.Graph
 	cfg  ksp.Config
 	seed uint64
 
+	// st is the packed bulk from Build/LoadOrBuild/Read; nil for a
+	// purely lazy DB. Immutable once set, so reads skip the mutex.
+	st *store
+
 	mu        sync.RWMutex
-	m         map[uint64][]graph.Path
+	m         map[uint64][]graph.Path // lazy fills on top of st
 	computers sync.Pool
-	fallbacks int
+	fallbacks int // fallbacks from lazy fills; st keeps the build's own
 }
 
 // NewDB creates an empty DB for lazy use.
@@ -59,21 +65,29 @@ func NewDB(g *graph.Graph, cfg ksp.Config, seed uint64) *DB {
 }
 
 // Build eagerly computes the path sets for the given pairs in parallel
-// (workers <= 0 selects the default pool).
+// (workers <= 0 selects the default pool) and packs them into the DB's
+// CSR store. Duplicate pairs are computed once.
 func Build(g *graph.Graph, cfg ksp.Config, seed uint64, pairs []Pair, workers int) *DB {
 	db := NewDB(g, cfg, seed)
-	results := make([][]graph.Path, len(pairs))
+	keys := make([]uint64, 0, len(pairs))
+	seen := make(map[uint64]struct{}, len(pairs))
+	for _, p := range pairs {
+		k := pairKey(p.Src, p.Dst)
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		keys = append(keys, k)
+	}
+	results := make([][]graph.Path, len(keys))
 	fallbacks := 0
-	par.MapReduce(len(pairs), workers,
+	par.MapReduce(len(keys), workers,
 		func() *ksp.Computer { return ksp.NewComputer(g, cfg, xrand.New(seed)) },
 		func(i int, c *ksp.Computer) {
-			results[i] = db.computeWith(c, pairs[i].Src, pairs[i].Dst)
+			results[i] = db.computeWith(c, graph.NodeID(keys[i]>>32), graph.NodeID(uint32(keys[i])))
 		},
 		func(c *ksp.Computer) { fallbacks += c.Fallbacks() })
-	db.fallbacks = fallbacks
-	for i, p := range pairs {
-		db.m[pairKey(p.Src, p.Dst)] = results[i]
-	}
+	db.st = pack(keys, results, fallbacks, workers)
 	return db
 }
 
@@ -119,15 +133,19 @@ func (db *DB) K() int { return db.cfg.K }
 func (db *DB) NumPairs() int {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	return len(db.m)
+	return db.st.numPairs() + len(db.m)
 }
 
 // Fallbacks returns the number of pairs that needed the edge-disjoint
-// top-up fallback so far.
+// top-up fallback so far (the packed build's count plus lazy fills).
 func (db *DB) Fallbacks() int {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	return db.fallbacks
+	total := db.fallbacks
+	if db.st != nil {
+		total += db.st.fallbacks
+	}
+	return total
 }
 
 // Paths returns the path set for (src, dst), computing it on first use.
@@ -138,6 +156,13 @@ func (db *DB) Paths(src, dst graph.NodeID) []graph.Path {
 		return nil
 	}
 	key := pairKey(src, dst)
+	// Packed bulk first: immutable, so no lock is needed — this is the
+	// routing hot path when an eager or cache-loaded DB is in play.
+	if db.st != nil {
+		if ps, ok := db.st.paths(key); ok {
+			return ps
+		}
+	}
 	db.mu.RLock()
 	ps, ok := db.m[key]
 	db.mu.RUnlock()
@@ -267,6 +292,67 @@ func Analyze(g *graph.Graph, cfg ksp.Config, seed uint64, pairs []Pair, workers 
 				q.MaxShare = a.maxShare
 			}
 		})
+	if totPaths > 0 {
+		q.AvgLen = float64(totHops) / float64(totPaths)
+	}
+	if q.Pairs > 0 {
+		q.DisjointFraction /= float64(q.Pairs)
+		q.AvgPaths = float64(totPaths) / float64(q.Pairs)
+	}
+	return q
+}
+
+// AnalyzeDB aggregates the same quality metrics as Analyze from an
+// existing DB — typically one loaded from the on-disk cache via
+// LoadOrBuild — so the path-property tables can reuse a stored all-pairs
+// computation instead of re-running the selectors. Pairs absent from the
+// DB are computed lazily (and count toward the metrics exactly as in
+// Analyze, thanks to per-pair reseeding). Fallbacks reports the DB's own
+// build-time accounting.
+func AnalyzeDB(db *DB, pairs []Pair, workers int) Quality {
+	type acc struct {
+		scratch   map[uint64]int
+		pathCount int64
+		hopCount  int64
+		pairs     int
+		disjoint  int
+		maxShare  int
+	}
+	var q Quality
+	var totHops, totPaths int64
+	par.MapReduce(len(pairs), workers,
+		func() *acc {
+			return &acc{scratch: make(map[uint64]int, 64)}
+		},
+		func(i int, a *acc) {
+			p := pairs[i]
+			ps := db.Paths(p.Src, p.Dst)
+			if len(ps) == 0 {
+				return
+			}
+			a.pairs++
+			share := pairMaxShare(ps, a.scratch)
+			if share <= 1 {
+				a.disjoint++
+			}
+			if share > a.maxShare {
+				a.maxShare = share
+			}
+			for _, path := range ps {
+				a.pathCount++
+				a.hopCount += int64(path.Hops())
+			}
+		},
+		func(a *acc) {
+			q.Pairs += a.pairs
+			totHops += a.hopCount
+			totPaths += a.pathCount
+			q.DisjointFraction += float64(a.disjoint) // running count, normalized below
+			if a.maxShare > q.MaxShare {
+				q.MaxShare = a.maxShare
+			}
+		})
+	q.Fallbacks = db.Fallbacks()
 	if totPaths > 0 {
 		q.AvgLen = float64(totHops) / float64(totPaths)
 	}

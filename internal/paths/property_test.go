@@ -1,0 +1,152 @@
+package paths
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/jellyfish"
+	"repro/internal/ksp"
+	"repro/internal/xrand"
+)
+
+// TestSelectorInvariantsProperty sweeps the paper's four selectors over
+// several seeded small RRGs and checks every invariant the rest of the
+// pipeline (routing, simulators, serialization) silently relies on:
+//
+//   - every path is valid in the graph, simple (loop-free) and connects
+//     exactly the requested (src, dst);
+//   - path lengths within one pair's set are non-decreasing;
+//   - EDKSP/rEDKSP sets are pairwise link-disjoint (checked with the
+//     Yen top-up fallback disabled, which is the disjointness contract);
+//   - builds at workers = 1, 2 and 8 produce byte-identical archives.
+func TestSelectorInvariantsProperty(t *testing.T) {
+	type instance struct {
+		params jellyfish.Params
+		seed   uint64
+	}
+	instances := []instance{
+		{jellyfish.Params{N: 14, X: 10, Y: 6}, 2},
+		{jellyfish.Params{N: 18, X: 10, Y: 7}, 5},
+		{jellyfish.Params{N: 24, X: 12, Y: 8}, 11},
+	}
+	const k = 4
+	for _, inst := range instances {
+		topo, err := jellyfish.New(inst.params, xrand.New(inst.seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := topo.G
+		pairs := AllOrderedPairs(g.NumNodes())
+		for _, alg := range ksp.Algorithms {
+			cfg := ksp.Config{Alg: alg, K: k}
+			if alg.EdgeDisjoint() {
+				// The disjointness property is only guaranteed without
+				// the Yen top-up; k <= y keeps the fallback unnecessary
+				// on these instances anyway, and disabling it makes the
+				// check unconditional.
+				cfg.DisableEDFallback = true
+			}
+			buildSeed := inst.seed * 1000003
+
+			// Worker-count independence: byte-identical archives.
+			var archive []byte
+			var db *DB
+			for _, workers := range []int{1, 2, 8} {
+				cand := Build(g, cfg, buildSeed, pairs, workers)
+				var buf bytes.Buffer
+				if err := cand.Write(&buf); err != nil {
+					t.Fatal(err)
+				}
+				if archive == nil {
+					archive, db = buf.Bytes(), cand
+					continue
+				}
+				if !bytes.Equal(buf.Bytes(), archive) {
+					t.Fatalf("%v on %v: workers=%d build differs from workers=1",
+						alg, inst.params, workers)
+				}
+			}
+
+			for _, pr := range pairs {
+				ps := db.Paths(pr.Src, pr.Dst)
+				if len(ps) == 0 {
+					t.Fatalf("%v on %v: pair %d->%d has no paths",
+						alg, inst.params, pr.Src, pr.Dst)
+				}
+				prevHops := -1
+				for pi, p := range ps {
+					if !p.ValidIn(g) {
+						t.Fatalf("%v on %v: %d->%d path %d invalid: %v",
+							alg, inst.params, pr.Src, pr.Dst, pi, p)
+					}
+					if !p.Loopless() {
+						t.Fatalf("%v on %v: %d->%d path %d has a loop: %v",
+							alg, inst.params, pr.Src, pr.Dst, pi, p)
+					}
+					if p.Src() != pr.Src || p.Dst() != pr.Dst {
+						t.Fatalf("%v on %v: %d->%d path %d endpoints %d->%d",
+							alg, inst.params, pr.Src, pr.Dst, pi, p.Src(), p.Dst())
+					}
+					if p.Hops() < prevHops {
+						t.Fatalf("%v on %v: %d->%d lengths decrease at path %d",
+							alg, inst.params, pr.Src, pr.Dst, pi)
+					}
+					prevHops = p.Hops()
+				}
+				if alg.EdgeDisjoint() {
+					for i := 0; i < len(ps); i++ {
+						for j := i + 1; j < len(ps); j++ {
+							if !ps[i].EdgeDisjoint(ps[j]) {
+								t.Fatalf("%v on %v: %d->%d paths %d and %d share a link",
+									alg, inst.params, pr.Src, pr.Dst, i, j)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPackedViewsAliasArena pins the representation promise of the CSR
+// store: the paths returned for a packed pair are views into one shared
+// arena, not per-path allocations.
+func TestPackedViewsAliasArena(t *testing.T) {
+	g := testGraph(t)
+	db := BuildAllPairs(g, ksp.Config{Alg: ksp.KSP, K: 4}, 7, 2)
+	if db.st == nil {
+		t.Fatal("eager build did not produce a packed store")
+	}
+	stats, ok := db.StoreStats()
+	if !ok {
+		t.Fatal("StoreStats reported no store")
+	}
+	if stats.Pairs != 24*23 {
+		t.Fatalf("stats.Pairs = %d", stats.Pairs)
+	}
+	if stats.Nodes != len(db.st.arena) || stats.Paths != len(db.st.heads) {
+		t.Fatalf("stats inconsistent with store: %+v", stats)
+	}
+	ps := db.Paths(0, 5)
+	arena := db.st.arena
+	for _, p := range ps {
+		if len(p) == 0 {
+			t.Fatal("empty packed path")
+		}
+		first := &p[0]
+		inArena := false
+		for i := range arena {
+			if &arena[i] == first {
+				inArena = true
+				break
+			}
+		}
+		if !inArena {
+			t.Fatal("packed path does not alias the arena")
+		}
+		// Views are capped: appending must not clobber the neighbor path.
+		if cap(p) != len(p) {
+			t.Fatalf("packed path view not three-index capped: len %d cap %d", len(p), cap(p))
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package paths
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/ksp"
+)
+
+// TestLazyFillRaceIdenticalPathSets is the regression test for the
+// lazy-fill race in DB.Paths: when several goroutines miss on the same
+// cold pair simultaneously, each computes the set privately and exactly
+// one install wins ("another goroutine won the race" branch). Run under
+// -race via `make check`. Every racer must observe a path set identical
+// to the eager build — the per-pair reseeding is what makes the losing
+// computations interchangeable with the winning one.
+func TestLazyFillRaceIdenticalPathSets(t *testing.T) {
+	g := testGraph(t)
+	cfg := ksp.Config{Alg: ksp.REDKSP, K: 3}
+	const seed = 31
+	want := BuildAllPairs(g, cfg, seed, 2)
+
+	// A focused pair list keeps every goroutine colliding on the same
+	// cold keys instead of spreading out.
+	var pairs []Pair
+	for s := graph.NodeID(0); s < 8; s++ {
+		for d := graph.NodeID(0); d < 8; d++ {
+			if s != d {
+				pairs = append(pairs, Pair{s, d})
+			}
+		}
+	}
+
+	cold := NewDB(g, cfg, seed)
+	const racers = 16
+	results := make([][][]graph.Path, racers)
+	var start, done sync.WaitGroup
+	start.Add(1)
+	done.Add(racers)
+	for r := 0; r < racers; r++ {
+		go func() {
+			defer done.Done()
+			start.Wait() // maximize simultaneous cold misses
+			out := make([][]graph.Path, len(pairs))
+			for i, pr := range pairs {
+				out[i] = cold.Paths(pr.Src, pr.Dst)
+			}
+			results[r] = out
+		}()
+	}
+	start.Done()
+	done.Wait()
+
+	for r, out := range results {
+		for i, pr := range pairs {
+			ref := want.Paths(pr.Src, pr.Dst)
+			got := out[i]
+			if len(got) != len(ref) {
+				t.Fatalf("racer %d pair %d->%d: %d paths, want %d",
+					r, pr.Src, pr.Dst, len(got), len(ref))
+			}
+			for pi := range ref {
+				if !got[pi].Equal(ref[pi]) {
+					t.Fatalf("racer %d pair %d->%d path %d: %v, want %v",
+						r, pr.Src, pr.Dst, pi, got[pi], ref[pi])
+				}
+			}
+		}
+	}
+	// Fallback accounting must not double-count racing losers.
+	if cold.Fallbacks() > want.Fallbacks() {
+		t.Fatalf("lazy fallbacks %d exceed eager %d", cold.Fallbacks(), want.Fallbacks())
+	}
+}
+
+// TestConcurrentReadsOnCacheLoadedDB races lock-free packed-store reads
+// with lazy fills of uncached pairs on one DB, the access mix flitsim
+// workers produce when fed a cache-loaded DB. Run under -race.
+func TestConcurrentReadsOnCacheLoadedDB(t *testing.T) {
+	g := testGraph(t)
+	cfg := ksp.Config{Alg: ksp.RKSP, K: 3}
+	packed := Build(g, cfg, 5, AllOrderedPairs(12), 2) // switches 0..11 packed
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := graph.NodeID(0); s < 24; s++ {
+				for d := graph.NodeID(0); d < 24; d++ {
+					if s == d {
+						continue
+					}
+					if ps := packed.Paths(s, d); len(ps) == 0 {
+						t.Error("empty path set")
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if packed.NumPairs() != 24*23 {
+		t.Fatalf("NumPairs = %d", packed.NumPairs())
+	}
+}

@@ -1,0 +1,154 @@
+package paths
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/par"
+)
+
+// store is the CSR-style packed representation of a bulk of path sets:
+// every node of every path lives in one flat arena, each path is a view
+// (sub-slice) into that arena, and each pair owns a contiguous run of
+// those views. Compared with the map-of-slices representation this
+// replaces one heap allocation per path (plus one slice per pair) with
+// four large allocations for the whole bulk, which is what lets the
+// all-pairs databases of the medium and large topologies fit in memory.
+//
+// A store is immutable after construction and therefore safe to read from
+// any number of goroutines without locking. Pairs are kept in ascending
+// pairKey order, so iterating the store yields the same order Write
+// emits.
+type store struct {
+	// keys holds the pair keys (pairKey(src, dst)) in strictly ascending
+	// order.
+	keys []uint64
+	// pairOff indexes heads: pair i's paths are
+	// heads[pairOff[i]:pairOff[i+1]]. len(pairOff) == len(keys)+1.
+	pairOff []int32
+	// heads holds one path header per path, all pointing into arena.
+	heads []graph.Path
+	// arena is the flat node storage for every path.
+	arena []graph.NodeID
+	// index maps a pair key to its position in keys for O(1) lookup on
+	// the routing hot path.
+	index map[uint64]int32
+	// fallbacks is the number of pairs that needed the edge-disjoint
+	// top-up fallback during the build that produced this store.
+	fallbacks int
+}
+
+// paths returns the pair's packed path set and whether the pair is
+// present. The returned slice and its paths are views into the store and
+// must not be modified.
+func (st *store) paths(key uint64) ([]graph.Path, bool) {
+	i, ok := st.index[key]
+	if !ok {
+		return nil, false
+	}
+	return st.heads[st.pairOff[i]:st.pairOff[i+1]], true
+}
+
+// numPairs returns the number of pairs in the store.
+func (st *store) numPairs() int {
+	if st == nil {
+		return 0
+	}
+	return len(st.keys)
+}
+
+// StoreStats reports the memory footprint of a DB's packed store.
+type StoreStats struct {
+	// Pairs, Paths and Nodes count the packed entities.
+	Pairs, Paths, Nodes int
+	// ArenaBytes, HeadBytes, IndexBytes and OffsetBytes break down the
+	// resident size; TotalBytes is their sum.
+	ArenaBytes, HeadBytes, IndexBytes, OffsetBytes, TotalBytes int64
+}
+
+// StoreStats returns the packed store's footprint and whether the DB has
+// a packed store at all (lazy-only DBs do not).
+func (db *DB) StoreStats() (StoreStats, bool) {
+	st := db.st
+	if st == nil {
+		return StoreStats{}, false
+	}
+	s := StoreStats{
+		Pairs: len(st.keys),
+		Paths: len(st.heads),
+		Nodes: len(st.arena),
+	}
+	const (
+		nodeBytes   = 4  // graph.NodeID = int32
+		headerBytes = 24 // slice header
+		// Go map overhead per entry is roughly 2x the key+value payload
+		// once bucket metadata and load factor are accounted for.
+		indexEntryBytes = 2 * (8 + 4)
+	)
+	s.ArenaBytes = int64(len(st.arena)) * nodeBytes
+	s.HeadBytes = int64(len(st.heads)) * headerBytes
+	s.OffsetBytes = int64(len(st.keys))*8 + int64(len(st.pairOff))*4
+	s.IndexBytes = int64(len(st.index)) * indexEntryBytes
+	s.TotalBytes = s.ArenaBytes + s.HeadBytes + s.OffsetBytes + s.IndexBytes
+	return s, true
+}
+
+// pack builds a store from per-pair results. keys[i] is the pair key of
+// results[i]; entries need not be sorted but must be unique. The node
+// copy — the bulk of the work on an all-pairs build — is sharded across
+// workers; the output is independent of the worker count.
+func pack(keys []uint64, results [][]graph.Path, fallbacks, workers int) *store {
+	if len(keys) != len(results) {
+		panic("paths: pack keys/results length mismatch")
+	}
+	order := make([]int, len(keys))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return keys[order[a]] < keys[order[b]] })
+
+	st := &store{
+		keys:      make([]uint64, len(keys)),
+		pairOff:   make([]int32, len(keys)+1),
+		index:     make(map[uint64]int32, len(keys)),
+		fallbacks: fallbacks,
+	}
+	numPaths := 0
+	numNodes := 0
+	for i, oi := range order {
+		ps := results[oi]
+		st.keys[i] = keys[oi]
+		st.index[keys[oi]] = int32(i)
+		st.pairOff[i] = int32(numPaths)
+		numPaths += len(ps)
+		for _, p := range ps {
+			numNodes += len(p)
+		}
+	}
+	st.pairOff[len(keys)] = int32(numPaths)
+	st.heads = make([]graph.Path, numPaths)
+	st.arena = make([]graph.NodeID, numNodes)
+
+	// Per-pair arena offsets, then a sharded copy: each worker owns a
+	// contiguous range of pairs and writes disjoint arena regions.
+	nodeOff := make([]int, len(keys)+1)
+	for i, oi := range order {
+		n := 0
+		for _, p := range results[oi] {
+			n += len(p)
+		}
+		nodeOff[i+1] = nodeOff[i] + n
+	}
+	par.ForShards(len(keys), workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			off := nodeOff[i]
+			first := int(st.pairOff[i])
+			for pi, p := range results[order[i]] {
+				copy(st.arena[off:], p)
+				st.heads[first+pi] = st.arena[off : off+len(p) : off+len(p)]
+				off += len(p)
+			}
+		}
+	})
+	return st
+}
