@@ -9,14 +9,17 @@
 # "current" numbers against the committed BENCH_*.json baselines the way
 # benchstat compares runs — several repetitions, interleaved, on an idle
 # machine — before trusting a delta (docs/PERFORMANCE.md).
-.PHONY: check build test bench bench-routing bench-flit bench-paths fmt lint race-faults race-paths fuzz-paths
+.PHONY: check build test bench bench-routing bench-flit bench-paths bench-serve fmt lint race-faults race-paths race-serve fuzz-paths serve-smoke docs-check
 
 check: fmt lint
 	go vet ./...
 	go test -race ./internal/telemetry/... ./internal/par/...
 	$(MAKE) race-faults
 	$(MAKE) race-paths
+	$(MAKE) race-serve
 	$(MAKE) fuzz-paths
+	$(MAKE) serve-smoke
+	$(MAKE) docs-check
 	go build ./...
 
 # gofmt -l prints offending files; fail if it prints anything.
@@ -46,6 +49,22 @@ race-faults:
 race-paths:
 	go test -race -run 'Race|Concurrent' ./internal/paths
 
+# jfserve serves one goroutine per connection over shared DBs; hammer
+# routes-batch from concurrent clients and exercise shutdown draining
+# under the race detector.
+race-serve:
+	go test -race -run 'Concurrent|Shutdown' ./internal/serve
+
+# End-to-end daemon smoke: in-process server on a real Unix socket,
+# every protocol op through the Go client, one raw error frame, clean
+# drain on Stop (exits non-zero on any mismatch).
+serve-smoke:
+	go run ./internal/serve/smoke
+
+# Relative links in README.md and docs/*.md must point at real files.
+docs-check:
+	go run ./internal/docscheck
+
 # Short fuzz smoke of both path deserializers (text archive and binary
 # cache): 10s each on top of the committed corpus under
 # internal/paths/testdata/fuzz. Longer sessions: raise -fuzztime.
@@ -59,7 +78,7 @@ build:
 test:
 	go test ./...
 
-bench: bench-routing bench-flit bench-paths
+bench: bench-routing bench-flit bench-paths bench-serve
 	go test -bench=. -benchmem ./...
 
 # Routing-engine microbenchmarks: ns/op and allocs/op of one Choose call
@@ -83,3 +102,11 @@ bench-flit:
 # Takes a minute or two: the build leg recomputes 50k pairs.
 bench-paths:
 	go run ./internal/paths/benchjson -o BENCH_paths.json
+
+# Serving-layer benchmark: sustained batched lookups/sec and single-op
+# round trips/sec against an in-process jfserve on a Unix socket,
+# written to BENCH_serve.json (committed baseline; capacity-planning
+# notes in docs/SERVICE.md). Client and server share the machine, so
+# run it idle and read the number as a per-host floor.
+bench-serve:
+	go run ./internal/serve/benchjson -o BENCH_serve.json

@@ -129,6 +129,14 @@ func PathCache() *string {
 		"directory for the on-disk path-DB cache (empty = recompute paths in-process)")
 }
 
+// Listen registers the -listen flag used by the serving binaries: a
+// listener spec of the form "unix:<socket path>" or "tcp:<host:port>",
+// parsed by serve.SplitListenSpec (wire protocol: docs/SERVICE.md).
+func Listen(def string) *string {
+	return flag.String("listen", def,
+		"listener spec: unix:<socket path> or tcp:<host:port>")
+}
+
 // Faults is the flag pair behind fault injection.
 type Faults struct {
 	// Spec is the -faults schedule spec ("" = no faults).

@@ -1,0 +1,79 @@
+// Command docscheck verifies that relative links in the repo's Markdown
+// docs resolve to real files, so renames and doc moves fail `make
+// docs-check` instead of silently breaking README.md or docs/. External
+// links (http, https, mailto) and pure in-page anchors are skipped, as
+// is anything inside fenced code blocks.
+//
+//	go run ./internal/docscheck README.md docs/*.md
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRE matches inline Markdown links [text](target); images share the
+// syntax and are covered by the same file-exists rule.
+var linkRE = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+func main() {
+	files := os.Args[1:]
+	if len(files) == 0 {
+		files = []string{"README.md"}
+		docs, _ := filepath.Glob("docs/*.md")
+		files = append(files, docs...)
+	}
+	broken := 0
+	for _, f := range files {
+		buf, err := os.ReadFile(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "docscheck:", err)
+			os.Exit(1)
+		}
+		for _, bad := range checkFile(f, string(buf)) {
+			fmt.Println(bad)
+			broken++
+		}
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "docscheck: %d broken link(s)\n", broken)
+		os.Exit(1)
+	}
+	fmt.Printf("docscheck: %d file(s) clean\n", len(files))
+}
+
+func checkFile(name, text string) []string {
+	var bad []string
+	inFence := false
+	for i, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range linkRE.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			// Strip an in-file anchor: docs/FOO.md#section checks the file.
+			if idx := strings.IndexByte(target, '#'); idx >= 0 {
+				target = target[:idx]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(name), target)
+			if _, err := os.Stat(resolved); err != nil {
+				bad = append(bad, fmt.Sprintf("%s:%d: broken link %q (%s)", name, i+1, m[1], resolved))
+			}
+		}
+	}
+	return bad
+}

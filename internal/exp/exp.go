@@ -17,6 +17,7 @@ import (
 	"repro/internal/jellyfish"
 	"repro/internal/ksp"
 	"repro/internal/paths"
+	"repro/internal/seeds"
 	"repro/internal/xrand"
 )
 
@@ -76,9 +77,10 @@ func (sc Scale) withDefaults() Scale {
 	return sc
 }
 
-// topoSeed derives the RNG for the i-th topology sample.
+// topoSeed derives the RNG for the i-th topology sample (the shared
+// derivation in internal/seeds, so jfserve builds identical graphs).
 func (sc Scale) topoSeed(i int) *xrand.RNG {
-	return xrand.NewPair(xrand.Mix64(sc.Seed^0x70706f), uint64(i))
+	return seeds.TopoRNG(sc.Seed, i)
 }
 
 // patternSeed derives the RNG for the j-th pattern instance on the i-th
@@ -88,9 +90,9 @@ func (sc Scale) patternSeed(i, j int) *xrand.RNG {
 }
 
 // pathSeed derives the path-DB seed for a selector on the i-th topology
-// sample.
+// sample (shared derivation, see internal/seeds).
 func (sc Scale) pathSeed(i int, alg ksp.Algorithm) uint64 {
-	return xrand.Mix64(sc.Seed ^ uint64(i)<<8 ^ uint64(alg))
+	return seeds.PathSeed(sc.Seed, i, alg)
 }
 
 // buildTopo constructs the i-th topology sample.

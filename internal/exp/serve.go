@@ -1,0 +1,229 @@
+package exp
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/serve/client"
+	"repro/internal/xrand"
+)
+
+// ServeBenchConfig sizes a jfserve serving benchmark: an in-process
+// server on a temp Unix socket, hammered by concurrent clients issuing
+// batched route lookups (the daemon's intended bulk shape) and then
+// single route round trips (the latency shape).
+type ServeBenchConfig struct {
+	// Topo names the topology (default small — the build must fit in
+	// the bench budget; pass PairSample to bench bigger ones).
+	Topo string
+	// K is paths per pair (default 8).
+	K int
+	// Seed derives the path DB and the query streams (default 1).
+	Seed uint64
+	// Mechanism and Estimator configure the serving choice (defaults
+	// ksp-adaptive / link-load).
+	Mechanism string
+	Estimator string
+	// PairSample bounds the stored pairs (0 = all ordered pairs).
+	PairSample int
+	// Clients is the number of concurrent connections (default
+	// GOMAXPROCS).
+	Clients int
+	// BatchSize is pairs per routes-batch frame (default 512).
+	BatchSize int
+	// Batches is frames per client (default 100).
+	Batches int
+	// SingleOps is single-route round trips per client (default 2000).
+	SingleOps int
+	// Workers bounds the server-side build (0 = GOMAXPROCS).
+	Workers int
+}
+
+// ServeBenchResult reports a serving benchmark run. LookupsPerSec is
+// the headline number docs/SERVICE.md's capacity-planning notes quote.
+type ServeBenchResult struct {
+	Topo     string `json:"topology"`
+	Key      string `json:"key"`
+	Switches int    `json:"switches"`
+	Pairs    int    `json:"pairs"`
+	K        int    `json:"k"`
+
+	Clients   int `json:"clients"`
+	BatchSize int `json:"batch_size"`
+	Batches   int `json:"batches_per_client"`
+
+	LoadSeconds float64 `json:"load_seconds"`
+
+	Lookups       int64   `json:"batched_lookups"`
+	Seconds       float64 `json:"batched_seconds"`
+	LookupsPerSec float64 `json:"batched_lookups_per_sec"`
+
+	SingleOps     int64   `json:"single_ops"`
+	SingleSeconds float64 `json:"single_seconds"`
+	SinglesPerSec float64 `json:"single_ops_per_sec"`
+
+	ServerLatency serve.LatencySummary `json:"server_latency"`
+}
+
+func (c ServeBenchConfig) withDefaults() ServeBenchConfig {
+	if c.Topo == "" {
+		c.Topo = "small"
+	}
+	if c.K == 0 {
+		c.K = 8
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Clients == 0 {
+		c.Clients = runtime.GOMAXPROCS(0)
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 512
+	}
+	if c.Batches == 0 {
+		c.Batches = 100
+	}
+	if c.SingleOps == 0 {
+		c.SingleOps = 2000
+	}
+	return c
+}
+
+// ServeBench starts a jfserve server on a temp Unix socket, loads the
+// configured topology, and drives it with concurrent batched and
+// single route lookups, reporting sustained lookups/sec (the
+// BENCH_serve.json quantities; run via `make bench-serve`).
+func ServeBench(cfg ServeBenchConfig) (*ServeBenchResult, error) {
+	cfg = cfg.withDefaults()
+	if cfg.BatchSize > serve.MaxBatchPairs {
+		return nil, fmt.Errorf("exp: batch size %d exceeds the protocol's %d-pair limit",
+			cfg.BatchSize, serve.MaxBatchPairs)
+	}
+	dir, err := os.MkdirTemp("", "jfserve-bench")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	sock := filepath.Join(dir, "jfserve.sock")
+	l, err := net.Listen("unix", sock)
+	if err != nil {
+		return nil, err
+	}
+	srv := serve.NewServer(serve.Options{Workers: cfg.Workers})
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(l) }()
+	defer func() {
+		srv.Stop()
+		<-serveDone
+	}()
+
+	ctl, err := client.Dial("unix", sock)
+	if err != nil {
+		return nil, err
+	}
+	defer ctl.Close()
+	topo, err := ctl.TopoLoad(serve.TopoParams{
+		Topo: cfg.Topo, K: cfg.K, Seed: cfg.Seed,
+		Mechanism: cfg.Mechanism, Estimator: cfg.Estimator,
+		PairSample: cfg.PairSample,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &ServeBenchResult{
+		Topo: cfg.Topo, Key: topo.Key, Switches: topo.Switches,
+		Pairs: topo.Pairs, K: topo.K,
+		Clients: cfg.Clients, BatchSize: cfg.BatchSize, Batches: cfg.Batches,
+		LoadSeconds: topo.LoadSeconds,
+	}
+
+	// Phase 1: batched lookups, every client its own seeded pair stream.
+	clients := make([]*client.Client, cfg.Clients)
+	for i := range clients {
+		if clients[i], err = client.Dial("unix", sock); err != nil {
+			return nil, err
+		}
+		defer clients[i].Close()
+	}
+	errs := make(chan error, cfg.Clients)
+	var routed int64
+	var routedMu sync.Mutex
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i, cl := range clients {
+		wg.Add(1)
+		go func(i int, cl *client.Client) {
+			defer wg.Done()
+			rng := xrand.NewPair(cfg.Seed^0x73657276, uint64(i)) // "serv"
+			pairs := make([][2]int32, cfg.BatchSize)
+			var mine int64
+			for b := 0; b < cfg.Batches; b++ {
+				for j := range pairs {
+					s := rng.IntN(topo.Switches)
+					d := rng.IntNExcept(topo.Switches, s)
+					pairs[j] = [2]int32{int32(s), int32(d)}
+				}
+				br, err := cl.RoutesBatch(topo.Key, pairs)
+				if err != nil {
+					errs <- err
+					return
+				}
+				mine += int64(br.Routed)
+			}
+			routedMu.Lock()
+			routed += mine
+			routedMu.Unlock()
+		}(i, cl)
+	}
+	wg.Wait()
+	res.Seconds = time.Since(start).Seconds()
+	select {
+	case err := <-errs:
+		return nil, err
+	default:
+	}
+	res.Lookups = routed
+	res.LookupsPerSec = float64(routed) / res.Seconds
+
+	// Phase 2: single-route round trips (per-request latency shape).
+	start = time.Now()
+	for i, cl := range clients {
+		wg.Add(1)
+		go func(i int, cl *client.Client) {
+			defer wg.Done()
+			rng := xrand.NewPair(cfg.Seed^0x73676c, uint64(i)) // "sgl"
+			for op := 0; op < cfg.SingleOps; op++ {
+				s := rng.IntN(topo.Switches)
+				d := rng.IntNExcept(topo.Switches, s)
+				if _, err := cl.Route(topo.Key, int32(s), int32(d)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(i, cl)
+	}
+	wg.Wait()
+	res.SingleSeconds = time.Since(start).Seconds()
+	select {
+	case err := <-errs:
+		return nil, err
+	default:
+	}
+	res.SingleOps = int64(cfg.Clients) * int64(cfg.SingleOps)
+	res.SinglesPerSec = float64(res.SingleOps) / res.SingleSeconds
+
+	stats, err := ctl.Stats()
+	if err != nil {
+		return nil, err
+	}
+	res.ServerLatency = stats.Latency
+	return res, nil
+}

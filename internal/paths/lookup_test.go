@@ -1,0 +1,74 @@
+package paths
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/ksp"
+)
+
+// TestLookupTypedErrors is the regression test for the serving-layer
+// bugfix: absent pairs must answer a typed error, never an empty or
+// lazily computed path set.
+func TestLookupTypedErrors(t *testing.T) {
+	g := testGraph(t)
+	cfg := ksp.Config{Alg: ksp.REDKSP, K: 4}
+	db := Build(g, cfg, 1, []Pair{{Src: 0, Dst: 1}}, 1)
+
+	ps, err := db.Lookup(0, 1)
+	if err != nil || len(ps) == 0 {
+		t.Fatalf("stored pair: got %d paths, err %v", len(ps), err)
+	}
+
+	cases := []struct {
+		src, dst graph.NodeID
+		want     error
+	}{
+		{1, 0, ErrNotStored}, // pairs are directed; the reverse was not built
+		{2, 3, ErrNotStored},
+		{5, 5, ErrSelfPair},
+		{-1, 1, ErrOutOfRange},
+		{0, graph.NodeID(g.NumNodes()), ErrOutOfRange},
+	}
+	for _, c := range cases {
+		ps, err := db.Lookup(c.src, c.dst)
+		if !errors.Is(err, c.want) {
+			t.Fatalf("Lookup(%d, %d) = %v, want %v", c.src, c.dst, err, c.want)
+		}
+		if ps != nil {
+			t.Fatalf("Lookup(%d, %d) returned paths alongside the error", c.src, c.dst)
+		}
+	}
+
+	// Lookup never computes lazily — but it does see pairs that Paths
+	// has since cached, so servers and simulators agree on what exists.
+	if _, err := db.Lookup(1, 0); !errors.Is(err, ErrNotStored) {
+		t.Fatalf("pre-compute Lookup(1, 0) = %v, want %v", err, ErrNotStored)
+	}
+	if got := db.Paths(1, 0); len(got) == 0 {
+		t.Fatal("lazy Paths(1, 0) computed nothing")
+	}
+	if ps, err := db.Lookup(1, 0); err != nil || len(ps) == 0 {
+		t.Fatalf("post-compute Lookup(1, 0) = %d paths, err %v", len(ps), err)
+	}
+}
+
+func TestLookupNoPath(t *testing.T) {
+	// A disconnected pair is stored with zero paths and must answer
+	// ErrNoPath, distinguishable from "not stored".
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	g := b.Graph()
+	cfg := ksp.Config{Alg: ksp.KSP, K: 2}
+	db := Build(g, cfg, 1, []Pair{{Src: 0, Dst: 2}}, 1)
+
+	_, err := db.Lookup(0, 2)
+	if !errors.Is(err, ErrNoPath) {
+		t.Fatalf("disconnected stored pair: %v, want %v", err, ErrNoPath)
+	}
+	if _, err := db.Lookup(0, 3); !errors.Is(err, ErrNotStored) {
+		t.Fatalf("unstored pair: %v, want %v", err, ErrNotStored)
+	}
+}

@@ -12,6 +12,8 @@
 package paths
 
 import (
+	"errors"
+	"fmt"
 	"sync"
 
 	"repro/internal/graph"
@@ -184,6 +186,63 @@ func (db *DB) Paths(src, dst graph.NodeID) []graph.Path {
 	}
 	db.mu.Unlock()
 	return ps
+}
+
+// Typed lookup errors. Paths deliberately keeps its historical contract —
+// lazy computation for missing pairs, nil for self pairs — because the
+// simulators and the throughput model rely on it (an empty set there
+// means "same switch" or "drop", both deliberate). Callers that must
+// distinguish those cases — above all the jfserve daemon, which turns
+// each of them into a distinct protocol error code — use Lookup instead.
+var (
+	// ErrSelfPair marks a lookup of a (s, s) pair, which has no network
+	// path by definition.
+	ErrSelfPair = errors.New("paths: self pair has no network path")
+	// ErrOutOfRange marks a switch id outside the DB's graph.
+	ErrOutOfRange = errors.New("paths: switch id out of range")
+	// ErrNotStored marks a pair absent from the DB's stored sets (packed
+	// store and lazy fills). Lookup never computes; use Paths to fill
+	// lazily.
+	ErrNotStored = errors.New("paths: pair not stored")
+	// ErrNoPath marks a pair that is stored but whose path set is empty
+	// (the selector found no route — only possible on disconnected
+	// graphs).
+	ErrNoPath = errors.New("paths: pair has no path")
+)
+
+// Lookup returns the stored path set for (src, dst) without computing
+// anything: unlike Paths it never falls back to a lazy ksp run, and it
+// reports *why* a lookup fails through typed errors (ErrSelfPair,
+// ErrOutOfRange, ErrNotStored, ErrNoPath) instead of returning an
+// empty or zero-value path set. The returned slice is shared and must
+// not be modified.
+func (db *DB) Lookup(src, dst graph.NodeID) ([]graph.Path, error) {
+	n := graph.NodeID(db.g.NumNodes())
+	if src < 0 || src >= n || dst < 0 || dst >= n {
+		return nil, fmt.Errorf("%w: pair %d->%d on %d switches", ErrOutOfRange, src, dst, n)
+	}
+	if src == dst {
+		return nil, fmt.Errorf("%w: %d->%d", ErrSelfPair, src, dst)
+	}
+	key := pairKey(src, dst)
+	ps, ok := func() ([]graph.Path, bool) {
+		if db.st != nil {
+			if ps, ok := db.st.paths(key); ok {
+				return ps, true
+			}
+		}
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+		ps, ok := db.m[key]
+		return ps, ok
+	}()
+	if !ok {
+		return nil, fmt.Errorf("%w: pair %d->%d", ErrNotStored, src, dst)
+	}
+	if len(ps) == 0 {
+		return nil, fmt.Errorf("%w: pair %d->%d", ErrNoPath, src, dst)
+	}
+	return ps, nil
 }
 
 // AllOrderedPairs enumerates every (s, d) with s != d over n switches.
@@ -361,6 +420,14 @@ func AnalyzeDB(db *DB, pairs []Pair, workers int) Quality {
 		q.AvgPaths = float64(totPaths) / float64(q.Pairs)
 	}
 	return q
+}
+
+// MaxShare returns the maximum number of the given paths that traverse
+// any single undirected link (1 = fully link-disjoint, 0 for an empty
+// set) — the per-pair quantity behind Table IV, exposed for callers
+// that analyze one pair at a time (e.g. jfserve's estimate endpoint).
+func MaxShare(ps []graph.Path) int {
+	return pairMaxShare(ps, make(map[uint64]int, 64))
 }
 
 // pairMaxShare returns the maximum number of the pair's paths that use any

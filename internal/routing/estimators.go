@@ -1,0 +1,106 @@
+package routing
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// The simulators back LoadEstimator with their own queue state (flitsim:
+// credit occupancy, appsim: first-hop queue estimate). Hosts that route
+// without a simulation behind them — above all the jfserve daemon —
+// need standalone estimators. Three are provided, resolvable by name
+// through EstimatorByName:
+//
+//   - "zero": every path costs 0 (load-oblivious choice; with
+//     KSP-adaptive this degenerates to random-of-two);
+//   - "hops": a path costs its hop count (prefers shorter candidates,
+//     no congestion signal);
+//   - "link-load": the UGAL-style estimate over a decaying count of how
+//     often each directed first link was recently chosen — the serving
+//     analogue of the simulators' queue occupancy.
+
+// ZeroEstimator costs every path 0.
+type ZeroEstimator struct{}
+
+// PathCost implements LoadEstimator.
+func (ZeroEstimator) PathCost(graph.Path) int { return 0 }
+
+// HopEstimator costs a path its hop count.
+type HopEstimator struct{}
+
+// PathCost implements LoadEstimator.
+func (HopEstimator) PathCost(p graph.Path) int { return p.Hops() }
+
+// LinkLoadEstimator is a self-contained congestion signal for hosts
+// that serve route choices without simulating the network: it keeps a
+// decaying per-directed-link count of recent choices, and prices a path
+// the way the paper's UGAL estimate does — (load of the path's first
+// network link) × (hop count), zero-hop paths costing 0. The owner
+// feeds it by calling Observe with each chosen path; every decayEvery
+// observations all counts are halved, so the signal tracks the recent
+// choice mix instead of growing without bound.
+//
+// Not safe for concurrent use: the owner guards it with the same lock
+// that guards the mechanism State (jfserve holds both under its
+// per-topology mutex).
+type LinkLoadEstimator struct {
+	counts     map[uint64]int
+	obs        int
+	decayEvery int
+}
+
+// NewLinkLoadEstimator returns an estimator that halves its counts
+// every decayEvery observations (<= 0 selects 4096).
+func NewLinkLoadEstimator(decayEvery int) *LinkLoadEstimator {
+	if decayEvery <= 0 {
+		decayEvery = 4096
+	}
+	return &LinkLoadEstimator{counts: make(map[uint64]int), decayEvery: decayEvery}
+}
+
+func dirLinkKey(u, v graph.NodeID) uint64 {
+	return uint64(uint32(u))<<32 | uint64(uint32(v))
+}
+
+// PathCost implements LoadEstimator: first-link load × hop count.
+func (e *LinkLoadEstimator) PathCost(p graph.Path) int {
+	if p.Hops() == 0 {
+		return 0
+	}
+	return e.counts[dirLinkKey(p[0], p[1])] * p.Hops()
+}
+
+// Observe records that the path was chosen, incrementing the count of
+// every directed link it traverses and decaying all counts when due.
+func (e *LinkLoadEstimator) Observe(p graph.Path) {
+	for i := 0; i+1 < len(p); i++ {
+		e.counts[dirLinkKey(p[i], p[i+1])]++
+	}
+	e.obs++
+	if e.obs >= e.decayEvery {
+		e.obs = 0
+		for k, v := range e.counts {
+			if v <= 1 {
+				delete(e.counts, k)
+			} else {
+				e.counts[k] = v / 2
+			}
+		}
+	}
+}
+
+// EstimatorByName resolves a standalone estimator name ("zero", "hops"
+// or "link-load"). Each call returns a fresh instance, so callers own
+// their estimator's state.
+func EstimatorByName(name string) (LoadEstimator, error) {
+	switch name {
+	case "zero":
+		return ZeroEstimator{}, nil
+	case "hops":
+		return HopEstimator{}, nil
+	case "link-load":
+		return NewLinkLoadEstimator(0), nil
+	}
+	return nil, fmt.Errorf("routing: unknown estimator %q (valid: zero, hops, link-load)", name)
+}

@@ -1,0 +1,29 @@
+// Package seeds holds the repo-wide seed derivation: how one
+// experiment seed (the binaries' -seed flag) fans out into the RRG
+// construction RNG and the per-selector path-DB seed. It exists so the
+// experiment harness (internal/exp) and the serving daemon
+// (internal/serve) derive identical topologies and path databases from
+// the same -seed — which is what lets a cache warmed by
+// `jftopo -warm-paths` serve `jfserve -preload` cache hits, and lets
+// the daemon answer routes on the exact graph instance an experiment
+// ran on. Changing a constant here invalidates every path cache and
+// golden result downstream; don't.
+package seeds
+
+import (
+	"repro/internal/ksp"
+	"repro/internal/xrand"
+)
+
+// TopoRNG derives the RNG constructing the i-th RRG topology sample of
+// an experiment seed.
+func TopoRNG(seed uint64, i int) *xrand.RNG {
+	return xrand.NewPair(xrand.Mix64(seed^0x70706f), uint64(i)) // "ppo"
+}
+
+// PathSeed derives the path-DB build seed for one selector on the i-th
+// topology sample. Distinct selectors get distinct seeds so their
+// random tie-breaks are independent.
+func PathSeed(seed uint64, i int, alg ksp.Algorithm) uint64 {
+	return xrand.Mix64(seed ^ uint64(i)<<8 ^ uint64(alg))
+}

@@ -1,0 +1,56 @@
+package serve_test
+
+import (
+	"testing"
+
+	"repro/internal/exp"
+	"repro/internal/jellyfish"
+	"repro/internal/ksp"
+	"repro/internal/serve"
+)
+
+// TestWarmCacheHit pins the jftopo → jfserve workflow: a path cache
+// warmed through the experiment harness (what `jftopo -warm-paths`
+// calls) must produce a cache hit when the daemon loads the same
+// (-seed, selector, k) topology — i.e. the two sides derive identical
+// graphs and path DBs from one experiment seed.
+func TestWarmCacheHit(t *testing.T) {
+	dir := t.TempDir()
+	params, err := jellyfish.ByName("small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = exp.WarmPathCache(
+		[]jellyfish.Params{params},
+		[]ksp.Algorithm{ksp.REDKSP},
+		exp.Scale{Seed: 3, K: 4, TopoSamples: 1, PathCache: dir},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv := serve.NewServer(serve.Options{PathCache: dir})
+	res, err := srv.LoadTopology(serve.TopoParams{
+		Topo: "small", Selector: "rEDKSP", K: 4, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CacheHit {
+		t.Fatalf("warmed cache missed: %+v (seed derivation diverged from the experiment harness)", res)
+	}
+	if res.Pairs != params.N*(params.N-1) {
+		t.Fatalf("cache-loaded %d pairs, want all %d", res.Pairs, params.N*(params.N-1))
+	}
+
+	// A different sample index is a different graph — it must not alias.
+	other, err := srv.LoadTopology(serve.TopoParams{
+		Topo: "small", Selector: "rEDKSP", K: 4, Seed: 3, TopoSample: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.Key == res.Key || other.CacheHit {
+		t.Fatalf("sample 1 aliased sample 0: %+v", other)
+	}
+}

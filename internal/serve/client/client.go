@@ -1,0 +1,170 @@
+// Package client is the in-repo Go client for the jfserve wire protocol
+// (docs/SERVICE.md): newline-delimited JSON requests over a Unix socket
+// or TCP connection, one response per request, in order. It exists for
+// the protocol tests, the serve smoke gate and exp.ServeBench; a
+// third-party client should be written from docs/SERVICE.md alone.
+package client
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+
+	"repro/internal/serve"
+)
+
+// RemoteError is a protocol-level failure: the server answered with
+// ok=false and this code/message. Transport failures surface as plain
+// errors instead.
+type RemoteError struct {
+	Code    string
+	Message string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("jfserve: %s: %s", e.Code, e.Message)
+}
+
+// Client is a synchronous jfserve client. Methods may be called from
+// multiple goroutines; requests are serialized on the one connection
+// (for throughput, open several clients and batch — see exp.ServeBench).
+type Client struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	sc     *bufio.Scanner
+	w      *bufio.Writer
+	enc    *json.Encoder
+	nextID uint64
+}
+
+// Dial connects to a jfserve listener ("unix", "/tmp/jfserve.sock" or
+// "tcp", "host:port").
+func Dial(network, addr string) (*Client, error) {
+	conn, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return New(conn), nil
+}
+
+// New wraps an established connection.
+func New(conn net.Conn) *Client {
+	c := &Client{conn: conn, w: bufio.NewWriterSize(conn, 64<<10)}
+	c.sc = bufio.NewScanner(conn)
+	c.sc.Buffer(make([]byte, 64<<10), serve.MaxFrameBytes)
+	c.enc = json.NewEncoder(c.w)
+	return c
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Do sends one request and returns the matching response. The version
+// and a fresh id are filled in; a response with ok=false is returned
+// along with the corresponding *RemoteError.
+func (c *Client) Do(req serve.Request) (serve.Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	req.V = serve.ProtocolVersion
+	if req.ID == "" {
+		c.nextID++
+		req.ID = strconv.FormatUint(c.nextID, 10)
+	}
+	if err := c.enc.Encode(req); err != nil {
+		return serve.Response{}, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return serve.Response{}, err
+	}
+	if !c.sc.Scan() {
+		if err := c.sc.Err(); err != nil {
+			return serve.Response{}, err
+		}
+		return serve.Response{}, fmt.Errorf("jfserve: connection closed")
+	}
+	var resp serve.Response
+	if err := json.Unmarshal(c.sc.Bytes(), &resp); err != nil {
+		return serve.Response{}, fmt.Errorf("jfserve: bad response frame: %w", err)
+	}
+	if resp.ID != req.ID {
+		return serve.Response{}, fmt.Errorf("jfserve: response id %q for request id %q", resp.ID, req.ID)
+	}
+	if !resp.OK {
+		if resp.Error == nil {
+			return resp, &RemoteError{Code: "missing-error", Message: "ok=false with no error object"}
+		}
+		return resp, &RemoteError{Code: resp.Error.Code, Message: resp.Error.Message}
+	}
+	return resp, nil
+}
+
+// Route asks for one chosen path on the loaded topology.
+func (c *Client) Route(topo string, src, dst int32) (serve.RouteResult, error) {
+	resp, err := c.Do(serve.Request{Op: serve.OpRoute, Topo: topo, Src: &src, Dst: &dst})
+	if err != nil {
+		return serve.RouteResult{}, err
+	}
+	if resp.Route == nil {
+		return serve.RouteResult{}, fmt.Errorf("jfserve: route response missing payload")
+	}
+	return *resp.Route, nil
+}
+
+// RoutesBatch routes many pairs in one frame. Entries align with pairs;
+// per-pair failures carry an error code in Entry.Err.
+func (c *Client) RoutesBatch(topo string, pairs [][2]int32) (serve.BatchResult, error) {
+	resp, err := c.Do(serve.Request{Op: serve.OpRoutesBatch, Topo: topo, Pairs: pairs})
+	if err != nil {
+		return serve.BatchResult{}, err
+	}
+	if resp.Batch == nil {
+		return serve.BatchResult{}, fmt.Errorf("jfserve: routes-batch response missing payload")
+	}
+	return *resp.Batch, nil
+}
+
+// Estimate returns the pair's path-set quality and isolated-flow
+// throughput estimate.
+func (c *Client) Estimate(topo string, src, dst int32) (serve.EstimateResult, error) {
+	resp, err := c.Do(serve.Request{Op: serve.OpEstimate, Topo: topo, Src: &src, Dst: &dst})
+	if err != nil {
+		return serve.EstimateResult{}, err
+	}
+	if resp.Estimate == nil {
+		return serve.EstimateResult{}, fmt.Errorf("jfserve: estimate response missing payload")
+	}
+	return *resp.Estimate, nil
+}
+
+// TopoLoad loads (or confirms) a topology and returns its key.
+func (c *Client) TopoLoad(p serve.TopoParams) (serve.TopoResult, error) {
+	resp, err := c.Do(serve.Request{Op: serve.OpTopoLoad, Params: &p})
+	if err != nil {
+		return serve.TopoResult{}, err
+	}
+	if resp.Topo == nil {
+		return serve.TopoResult{}, fmt.Errorf("jfserve: topo-load response missing payload")
+	}
+	return *resp.Topo, nil
+}
+
+// TopoEvict drops a loaded topology.
+func (c *Client) TopoEvict(key string) error {
+	_, err := c.Do(serve.Request{Op: serve.OpTopoEvict, Topo: key})
+	return err
+}
+
+// Stats returns the server's telemetry snapshot.
+func (c *Client) Stats() (serve.StatsResult, error) {
+	resp, err := c.Do(serve.Request{Op: serve.OpStats})
+	if err != nil {
+		return serve.StatsResult{}, err
+	}
+	if resp.Stats == nil {
+		return serve.StatsResult{}, fmt.Errorf("jfserve: stats response missing payload")
+	}
+	return *resp.Stats, nil
+}

@@ -1,0 +1,17 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SplitListenSpec parses a -listen spec into a (network, address) pair
+// for net.Listen / net.Dial: "unix:/tmp/jfserve.sock" selects a Unix
+// socket, "tcp:127.0.0.1:9009" a TCP listener.
+func SplitListenSpec(spec string) (network, addr string, err error) {
+	network, addr, ok := strings.Cut(spec, ":")
+	if !ok || addr == "" || (network != "unix" && network != "tcp") {
+		return "", "", fmt.Errorf("serve: bad listen spec %q (want unix:<path> or tcp:<host:port>)", spec)
+	}
+	return network, addr, nil
+}

@@ -1,0 +1,270 @@
+// Package serve implements jfserve, the long-lived route-oracle daemon:
+// warm paths.DBs keyed by (graph fingerprint | selector config | seed)
+// are served over a newline-delimited JSON request/response protocol on
+// a Unix socket or TCP listener. The wire protocol — framing, every
+// request/response type, error codes and compatibility rules — is
+// specified in docs/SERVICE.md; a third-party client needs only that
+// document. The in-repo Go client lives in internal/serve/client.
+//
+// This file holds the wire types. They are plain structs marshaled with
+// encoding/json, one object per line; field names below are the wire
+// names. Any change here must be reflected in docs/SERVICE.md and, if
+// incompatible, bump ProtocolVersion.
+package serve
+
+import "repro/internal/telemetry"
+
+// ProtocolVersion is the wire protocol version. Every request and
+// response carries it in "v"; the server rejects other versions with
+// CodeBadVersion, so old clients fail loudly instead of misparsing.
+const ProtocolVersion = 1
+
+// MaxFrameBytes bounds one request line. A longer line gets a
+// CodeFrameTooLarge error and the connection is closed (the frame
+// boundary is unrecoverable once the limit is hit mid-line).
+const MaxFrameBytes = 1 << 20
+
+// MaxBatchPairs bounds the pairs of one routes-batch request.
+const MaxBatchPairs = 8192
+
+// Request operations.
+const (
+	OpRoute       = "route"
+	OpRoutesBatch = "routes-batch"
+	OpEstimate    = "estimate"
+	OpTopoLoad    = "topo-load"
+	OpTopoEvict   = "topo-evict"
+	OpStats       = "stats"
+)
+
+// Error codes (docs/SERVICE.md lists the full semantics of each).
+const (
+	// CodeBadJSON: the line is not a valid JSON object.
+	CodeBadJSON = "bad-json"
+	// CodeBadVersion: "v" is missing or not ProtocolVersion.
+	CodeBadVersion = "bad-version"
+	// CodeBadRequest: a required field is missing or malformed.
+	CodeBadRequest = "bad-request"
+	// CodeUnknownOp: "op" names no operation of this version.
+	CodeUnknownOp = "unknown-op"
+	// CodeUnknownTopo: "topo" names no currently loaded topology.
+	CodeUnknownTopo = "unknown-topo"
+	// CodeBadPair: src/dst is out of range or src == dst.
+	CodeBadPair = "bad-pair"
+	// CodePairNotFound: the pair is valid but absent from the loaded
+	// (possibly pair-sampled) path DB.
+	CodePairNotFound = "pair-not-found"
+	// CodeNoPath: the pair is stored but has no usable path.
+	CodeNoPath = "no-path"
+	// CodeBatchTooLarge: a routes-batch request exceeds MaxBatchPairs.
+	CodeBatchTooLarge = "batch-too-large"
+	// CodeFrameTooLarge: the request line exceeds MaxFrameBytes; the
+	// connection is closed after this error.
+	CodeFrameTooLarge = "frame-too-large"
+	// CodeTopoLoad: topo-load failed (bad parameters or build error).
+	CodeTopoLoad = "topo-load-failed"
+)
+
+// Request is the envelope of every client frame. Op-specific fields are
+// pointers or slices so "absent" is distinguishable from zero values.
+type Request struct {
+	// V is the protocol version (required, must be ProtocolVersion).
+	V int `json:"v"`
+	// ID is an opaque client-chosen tag echoed in the response.
+	ID string `json:"id,omitempty"`
+	// Op selects the operation.
+	Op string `json:"op"`
+
+	// Topo is the topology key (route, routes-batch, estimate,
+	// topo-evict), as returned by topo-load.
+	Topo string `json:"topo,omitempty"`
+	// Src and Dst are switch ids (route, estimate).
+	Src *int32 `json:"src,omitempty"`
+	Dst *int32 `json:"dst,omitempty"`
+	// Pairs holds [src, dst] switch-id pairs (routes-batch).
+	Pairs [][2]int32 `json:"pairs,omitempty"`
+	// Params configures topo-load.
+	Params *TopoParams `json:"params,omitempty"`
+}
+
+// TopoParams configures a topo-load request. Zero values select the
+// documented defaults, so {"topo":"small"} is a complete request.
+type TopoParams struct {
+	// Topo names a paper topology: small, medium or large. Empty
+	// selects custom N/X/Y parameters instead.
+	Topo string `json:"topo,omitempty"`
+	// N, X, Y are the RRG parameters when Topo is empty.
+	N int `json:"n,omitempty"`
+	X int `json:"x,omitempty"`
+	Y int `json:"y,omitempty"`
+	// Selector is the path-selection scheme: KSP, rKSP, EDKSP, rEDKSP
+	// or LLSKR (default rEDKSP).
+	Selector string `json:"selector,omitempty"`
+	// K is the number of paths per pair (default 8).
+	K int `json:"k,omitempty"`
+	// Seed is the experiment seed (default 1). The RRG construction
+	// seed and the per-selector path-DB seed derive from it exactly as
+	// the experiment binaries' -seed does (internal/seeds), so the
+	// daemon serves the same graph instance jfnet/jfflit/jfapp run on
+	// and hits the path cache jftopo -warm-paths populated.
+	Seed uint64 `json:"seed,omitempty"`
+	// TopoSample is the topology sample index within the seed
+	// (default 0), matching the experiments' i-th RRG instance.
+	TopoSample int `json:"topo_sample,omitempty"`
+	// Mechanism is the routing mechanism answering route requests
+	// (default ksp-adaptive).
+	Mechanism string `json:"mechanism,omitempty"`
+	// Estimator is the load estimator the mechanism reads: zero, hops
+	// or link-load (default link-load).
+	Estimator string `json:"estimator,omitempty"`
+	// PairSample bounds the stored pairs: 0 stores all ordered pairs,
+	// n > 0 stores a seeded random sample of n pairs (lookups outside
+	// the sample answer pair-not-found).
+	PairSample int `json:"pair_sample,omitempty"`
+}
+
+// Response is the envelope of every server frame. Exactly one payload
+// field is set on success, matching the request's op.
+type Response struct {
+	V  int    `json:"v"`
+	ID string `json:"id,omitempty"`
+	// OK is false when Error is set.
+	OK    bool       `json:"ok"`
+	Error *ErrorInfo `json:"error,omitempty"`
+
+	Route    *RouteResult    `json:"route,omitempty"`
+	Batch    *BatchResult    `json:"batch,omitempty"`
+	Estimate *EstimateResult `json:"estimate,omitempty"`
+	Topo     *TopoResult     `json:"topo,omitempty"`
+	Stats    *StatsResult    `json:"stats,omitempty"`
+}
+
+// ErrorInfo carries a machine-readable code and a human-readable
+// message. Codes are stable API; messages are not.
+type ErrorInfo struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// RouteResult is one chosen path.
+type RouteResult struct {
+	// Path is the switch id sequence, source first.
+	Path []int32 `json:"path"`
+	// Index is the chosen candidate's index in the pair's stored set,
+	// or -1 for paths outside it (UGAL's composed detours).
+	Index int `json:"index"`
+	// Hops is len(Path) - 1.
+	Hops int `json:"hops"`
+}
+
+// BatchEntry is one routes-batch element: a route or a per-pair error
+// code (one bad pair does not fail the rest of the batch).
+type BatchEntry struct {
+	Route *RouteResult `json:"route,omitempty"`
+	// Err is an error code (CodeBadPair, CodePairNotFound, CodeNoPath)
+	// when the pair could not be routed, empty otherwise.
+	Err string `json:"err,omitempty"`
+}
+
+// BatchResult answers routes-batch; Entries is index-aligned with the
+// request's Pairs.
+type BatchResult struct {
+	Entries []BatchEntry `json:"entries"`
+	// Routed counts the entries carrying a route.
+	Routed int `json:"routed"`
+}
+
+// EstimateResult answers estimate: path-set quality of the pair plus
+// the isolated-flow Equation-1 throughput estimate (1.0 = the pair's k
+// sub-flows are fully link-disjoint and move at full terminal speed;
+// lower values mean the set shares links with itself).
+type EstimateResult struct {
+	Candidates int     `json:"candidates"`
+	MinHops    int     `json:"min_hops"`
+	AvgHops    float64 `json:"avg_hops"`
+	// MaxShare is the maximum number of the pair's paths crossing one
+	// undirected link (Table IV's per-pair quantity; 1 = disjoint).
+	MaxShare   int     `json:"max_share"`
+	Throughput float64 `json:"throughput"`
+}
+
+// TopoResult answers topo-load.
+type TopoResult struct {
+	// Key identifies the loaded topology in later requests:
+	// "<graph fingerprint>|<selector canonical form>|<seed>".
+	Key string `json:"key"`
+	// AlreadyLoaded reports that the key was already resident; the
+	// existing DB was kept and no build ran.
+	AlreadyLoaded bool `json:"already_loaded,omitempty"`
+	Switches      int  `json:"switches"`
+	Terminals     int  `json:"terminals"`
+	// Pairs is the number of stored switch pairs.
+	Pairs int `json:"pairs"`
+	K     int `json:"k"`
+	// CacheHit reports the DB was streamed from the on-disk path cache
+	// rather than built (always false without -path-cache).
+	CacheHit bool `json:"cache_hit,omitempty"`
+	// LoadSeconds is the wall time of the build or cache load.
+	LoadSeconds float64 `json:"load_seconds"`
+}
+
+// TopoInfo describes one loaded topology in a stats response.
+type TopoInfo struct {
+	Key       string `json:"key"`
+	Switches  int    `json:"switches"`
+	Pairs     int    `json:"pairs"`
+	K         int    `json:"k"`
+	Mechanism string `json:"mechanism"`
+	Estimator string `json:"estimator"`
+}
+
+// LatencySummary reports service-latency percentiles in microseconds
+// (time from frame decode to response encode, per request).
+type LatencySummary struct {
+	Count      int64   `json:"count"`
+	MeanMicros float64 `json:"mean_us"`
+	P50Micros  float64 `json:"p50_us"`
+	P90Micros  float64 `json:"p90_us"`
+	P99Micros  float64 `json:"p99_us"`
+}
+
+// StatsResult answers stats.
+type StatsResult struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Requests counts every request handled (including failed ones).
+	Requests int64 `json:"requests"`
+	// RouteLookups counts routed pairs (route counts 1, routes-batch
+	// counts its routed entries).
+	RouteLookups int64 `json:"route_lookups"`
+	// QPS is Requests / UptimeSeconds.
+	QPS float64 `json:"qps"`
+	// PerOp breaks Requests down by operation name.
+	PerOp map[string]int64 `json:"per_op"`
+	// Latency summarizes per-request service time.
+	Latency LatencySummary `json:"latency"`
+	// Topos lists the resident topologies.
+	Topos []TopoInfo `json:"topos"`
+}
+
+// latencySummaryOf converts a telemetry summary (microsecond buckets)
+// to the wire shape.
+func latencySummaryOf(s telemetry.Summary) LatencySummary {
+	return LatencySummary{
+		Count:      s.Count,
+		MeanMicros: s.Mean,
+		P50Micros:  s.P50,
+		P90Micros:  s.P90,
+		P99Micros:  s.P99,
+	}
+}
+
+// errResponse builds a failure response.
+func errResponse(id, code, message string) Response {
+	return Response{V: ProtocolVersion, ID: id, OK: false,
+		Error: &ErrorInfo{Code: code, Message: message}}
+}
+
+// okResponse builds a success envelope; the caller fills the payload.
+func okResponse(id string) Response {
+	return Response{V: ProtocolVersion, ID: id, OK: true}
+}

@@ -1,0 +1,582 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/jellyfish"
+	"repro/internal/ksp"
+	"repro/internal/paths"
+	"repro/internal/routing"
+	"repro/internal/seeds"
+	"repro/internal/telemetry"
+	"repro/internal/xrand"
+)
+
+// Options configures a Server.
+type Options struct {
+	// PathCache is the on-disk path-DB cache directory ("" = build
+	// in-process; see docs/PATHS.md). topo-load streams warm DBs from
+	// it exactly the way the experiment binaries do.
+	PathCache string
+	// Workers bounds build parallelism (<= 0 = GOMAXPROCS).
+	Workers int
+	// Logf receives one line per lifecycle event (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+// topoEntry is one resident topology: an immutable warm DB read
+// lock-free by every connection, plus the mutable routing state
+// (mechanism State, RNG, load estimator) guarded by mu so concurrent
+// route requests see a consistent choice sequence and fault masks.
+type topoEntry struct {
+	key  string
+	topo *jellyfish.Topology
+	db   *paths.DB
+	view *routing.View
+
+	mechName string
+	estName  string
+
+	mu    sync.Mutex
+	state routing.State
+	est   routing.LoadEstimator
+	rng   *xrand.RNG
+
+	pairs int
+}
+
+// choose runs one guarded Choose call and feeds the estimator.
+func (e *topoEntry) choose(src, dst graph.NodeID) (graph.Path, int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	p, idx := e.state.Choose(e.view, src, dst, e.est, e.rng)
+	if p != nil {
+		if obs, ok := e.est.(*routing.LinkLoadEstimator); ok {
+			obs.Observe(p)
+		}
+	}
+	return p, idx
+}
+
+// Server is the route-oracle daemon: one goroutine per connection over
+// shared read-only path DBs. Create with NewServer, run with Serve
+// (usually in a goroutine), stop with Stop — which closes the listener,
+// lets in-flight requests finish writing their responses, and then
+// closes every connection.
+type Server struct {
+	opts  Options
+	start time.Time
+
+	mu    sync.Mutex // guards topos
+	topos map[string]*topoEntry
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+
+	quit     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	lisMu     sync.Mutex
+	listeners map[net.Listener]struct{}
+
+	requests     atomic.Int64
+	routeLookups atomic.Int64
+	perOp        map[string]*atomic.Int64
+	latency      *telemetry.Histogram // microsecond buckets
+}
+
+// NewServer returns an idle server with no topologies loaded.
+func NewServer(opts Options) *Server {
+	s := &Server{
+		opts:      opts,
+		start:     time.Now(),
+		topos:     make(map[string]*topoEntry),
+		conns:     make(map[net.Conn]struct{}),
+		quit:      make(chan struct{}),
+		listeners: make(map[net.Listener]struct{}),
+		perOp:     make(map[string]*atomic.Int64),
+		// 1 µs buckets up to ~65 ms; slower requests (topo-load builds)
+		// land in the overflow bucket and read as "at least the cap".
+		latency: telemetry.NewHistogram(1, 1<<16),
+	}
+	for _, op := range []string{OpRoute, OpRoutesBatch, OpEstimate, OpTopoLoad, OpTopoEvict, OpStats} {
+		s.perOp[op] = &atomic.Int64{}
+	}
+	return s
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+// Serve accepts connections on l until Stop is called. It returns nil
+// after a clean shutdown and the accept error otherwise. Multiple
+// Serve calls on different listeners may run concurrently.
+func (s *Server) Serve(l net.Listener) error {
+	s.lisMu.Lock()
+	s.listeners[l] = struct{}{}
+	s.lisMu.Unlock()
+	defer func() {
+		s.lisMu.Lock()
+		delete(s.listeners, l)
+		s.lisMu.Unlock()
+	}()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			select {
+			case <-s.quit:
+				return nil
+			default:
+				return err
+			}
+		}
+		s.connMu.Lock()
+		s.conns[conn] = struct{}{}
+		s.connMu.Unlock()
+		s.wg.Add(1)
+		go s.handleConn(conn)
+	}
+}
+
+// Stop shuts the server down gracefully: no new connections are
+// accepted, each connection finishes the request it is currently
+// serving (including writing the response) and then closes, and Stop
+// returns once every connection goroutine has exited.
+func (s *Server) Stop() {
+	s.stopOnce.Do(func() {
+		close(s.quit)
+		s.lisMu.Lock()
+		for l := range s.listeners {
+			l.Close()
+		}
+		s.lisMu.Unlock()
+		// Unblock connections idle in Read; handlers mid-request are
+		// not reading and finish normally before their loop observes
+		// quit.
+		s.connMu.Lock()
+		for c := range s.conns {
+			c.SetReadDeadline(time.Now())
+		}
+		s.connMu.Unlock()
+	})
+	s.wg.Wait()
+	s.logf("jfserve: stopped (%d requests served)", s.requests.Load())
+}
+
+// handleConn serves one connection: newline-delimited JSON requests,
+// answered in order.
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.connMu.Lock()
+		delete(s.conns, conn)
+		s.connMu.Unlock()
+	}()
+
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 64<<10), MaxFrameBytes)
+	w := bufio.NewWriterSize(conn, 64<<10)
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case <-s.quit:
+			return
+		default:
+		}
+		if !sc.Scan() {
+			if errors.Is(sc.Err(), bufio.ErrTooLong) {
+				// The frame boundary is lost; report and drop the
+				// connection rather than misparse the stream.
+				enc.Encode(errResponse("", CodeFrameTooLarge,
+					fmt.Sprintf("request exceeds %d bytes", MaxFrameBytes)))
+				w.Flush()
+			}
+			return
+		}
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		resp := s.handleFrame(line)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// handleFrame decodes, dispatches and times one request.
+func (s *Server) handleFrame(line []byte) Response {
+	t0 := time.Now()
+	resp := s.dispatch(line)
+	s.requests.Add(1)
+	s.latency.Observe(time.Since(t0).Microseconds())
+	return resp
+}
+
+func (s *Server) dispatch(line []byte) Response {
+	var req Request
+	if err := json.Unmarshal(line, &req); err != nil {
+		return errResponse("", CodeBadJSON, err.Error())
+	}
+	if req.V != ProtocolVersion {
+		return errResponse(req.ID, CodeBadVersion,
+			fmt.Sprintf("request version %d, server speaks %d", req.V, ProtocolVersion))
+	}
+	if c, ok := s.perOp[req.Op]; ok {
+		c.Add(1)
+	}
+	switch req.Op {
+	case OpRoute:
+		return s.handleRoute(req)
+	case OpRoutesBatch:
+		return s.handleRoutesBatch(req)
+	case OpEstimate:
+		return s.handleEstimate(req)
+	case OpTopoLoad:
+		return s.handleTopoLoad(req)
+	case OpTopoEvict:
+		return s.handleTopoEvict(req)
+	case OpStats:
+		return s.handleStats(req)
+	}
+	return errResponse(req.ID, CodeUnknownOp, fmt.Sprintf("unknown op %q", req.Op))
+}
+
+// entry resolves the request's topology key.
+func (s *Server) entry(key string) (*topoEntry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.topos[key]
+	return e, ok
+}
+
+// lookupCode maps a paths.DB lookup error to its protocol error code.
+func lookupCode(err error) string {
+	switch {
+	case errors.Is(err, paths.ErrSelfPair), errors.Is(err, paths.ErrOutOfRange):
+		return CodeBadPair
+	case errors.Is(err, paths.ErrNotStored):
+		return CodePairNotFound
+	case errors.Is(err, paths.ErrNoPath):
+		return CodeNoPath
+	}
+	return CodeBadRequest
+}
+
+// routeOne validates and routes a single pair on an entry.
+func (s *Server) routeOne(e *topoEntry, src, dst int32) (RouteResult, string, error) {
+	if _, err := e.db.Lookup(src, dst); err != nil {
+		return RouteResult{}, lookupCode(err), err
+	}
+	p, idx := e.choose(src, dst)
+	if p == nil {
+		return RouteResult{}, CodeNoPath, fmt.Errorf("no candidate survives for %d->%d", src, dst)
+	}
+	s.routeLookups.Add(1)
+	return RouteResult{Path: p, Index: idx, Hops: p.Hops()}, "", nil
+}
+
+func (s *Server) handleRoute(req Request) Response {
+	if req.Src == nil || req.Dst == nil {
+		return errResponse(req.ID, CodeBadRequest, "route needs src and dst")
+	}
+	e, ok := s.entry(req.Topo)
+	if !ok {
+		return errResponse(req.ID, CodeUnknownTopo, fmt.Sprintf("topology %q not loaded", req.Topo))
+	}
+	r, code, err := s.routeOne(e, *req.Src, *req.Dst)
+	if err != nil {
+		return errResponse(req.ID, code, err.Error())
+	}
+	resp := okResponse(req.ID)
+	resp.Route = &r
+	return resp
+}
+
+func (s *Server) handleRoutesBatch(req Request) Response {
+	if len(req.Pairs) == 0 {
+		return errResponse(req.ID, CodeBadRequest, "routes-batch needs a non-empty pairs array")
+	}
+	if len(req.Pairs) > MaxBatchPairs {
+		return errResponse(req.ID, CodeBatchTooLarge,
+			fmt.Sprintf("%d pairs exceed the %d-pair batch limit", len(req.Pairs), MaxBatchPairs))
+	}
+	e, ok := s.entry(req.Topo)
+	if !ok {
+		return errResponse(req.ID, CodeUnknownTopo, fmt.Sprintf("topology %q not loaded", req.Topo))
+	}
+	out := BatchResult{Entries: make([]BatchEntry, len(req.Pairs))}
+	for i, pr := range req.Pairs {
+		r, code, err := s.routeOne(e, pr[0], pr[1])
+		if err != nil {
+			out.Entries[i] = BatchEntry{Err: code}
+			continue
+		}
+		route := r
+		out.Entries[i] = BatchEntry{Route: &route}
+		out.Routed++
+	}
+	resp := okResponse(req.ID)
+	resp.Batch = &out
+	return resp
+}
+
+func (s *Server) handleEstimate(req Request) Response {
+	if req.Src == nil || req.Dst == nil {
+		return errResponse(req.ID, CodeBadRequest, "estimate needs src and dst")
+	}
+	e, ok := s.entry(req.Topo)
+	if !ok {
+		return errResponse(req.ID, CodeUnknownTopo, fmt.Sprintf("topology %q not loaded", req.Topo))
+	}
+	ps, err := e.db.Lookup(*req.Src, *req.Dst)
+	if err != nil {
+		return errResponse(req.ID, lookupCode(err), err.Error())
+	}
+	resp := okResponse(req.ID)
+	est := estimatePair(ps)
+	resp.Estimate = &est
+	return resp
+}
+
+// estimatePair computes the pair's path-set quality and the
+// isolated-flow Equation-1 throughput: the pair's k sub-flows load each
+// link they cross (injection/ejection load k by construction, so a
+// fully link-disjoint set scores exactly 1.0), each sub-flow moves at
+// the reciprocal of its path's maximum load, and the flow's throughput
+// is the sum — the model of internal/model restricted to one flow.
+func estimatePair(ps []graph.Path) EstimateResult {
+	res := EstimateResult{Candidates: len(ps), MaxShare: paths.MaxShare(ps)}
+	counts := make(map[uint64]int, 8*len(ps))
+	totHops := 0
+	for _, p := range ps {
+		if h := p.Hops(); res.MinHops == 0 || h < res.MinHops {
+			res.MinHops = h
+		}
+		totHops += p.Hops()
+		for i := 0; i+1 < len(p); i++ {
+			counts[dirKey(p[i], p[i+1])]++
+		}
+	}
+	if len(ps) > 0 {
+		res.AvgHops = float64(totHops) / float64(len(ps))
+	}
+	k := len(ps)
+	for _, p := range ps {
+		maxLoad := k // the shared injection/ejection links
+		for i := 0; i+1 < len(p); i++ {
+			if c := counts[dirKey(p[i], p[i+1])]; c > maxLoad {
+				maxLoad = c
+			}
+		}
+		res.Throughput += 1 / float64(maxLoad)
+	}
+	return res
+}
+
+func dirKey(u, v graph.NodeID) uint64 {
+	return uint64(uint32(u))<<32 | uint64(uint32(v))
+}
+
+// TopoKey renders the identity of one loaded topology:
+// "<graph fingerprint>|<selector canonical form>|<seed>". The same
+// triple keys the on-disk path cache, so one key always denotes one
+// exact path DB.
+func TopoKey(g *graph.Graph, cfg ksp.Config, seed uint64) string {
+	return fmt.Sprintf("%016x|%s|%d", g.Fingerprint(), cfg.Canonical(), seed)
+}
+
+func (s *Server) handleTopoLoad(req Request) Response {
+	if req.Params == nil {
+		return errResponse(req.ID, CodeBadRequest, "topo-load needs params")
+	}
+	res, err := s.LoadTopology(*req.Params)
+	if err != nil {
+		code := CodeTopoLoad
+		var badParam *paramError
+		if errors.As(err, &badParam) {
+			code = CodeBadRequest
+		}
+		return errResponse(req.ID, code, err.Error())
+	}
+	resp := okResponse(req.ID)
+	resp.Topo = &res
+	return resp
+}
+
+// paramError marks a topo-load failure caused by the request itself.
+type paramError struct{ err error }
+
+func (e *paramError) Error() string { return e.err.Error() }
+func (e *paramError) Unwrap() error { return e.err }
+
+// LoadTopology builds (or cache-loads) the path DB described by p and
+// makes it resident. It is what topo-load calls; cmd/jfserve also calls
+// it directly for -preload. Loading an already resident key is
+// idempotent: the existing DB is kept.
+func (s *Server) LoadTopology(p TopoParams) (TopoResult, error) {
+	if p.Selector == "" {
+		p.Selector = "rEDKSP"
+	}
+	if p.K == 0 {
+		p.K = 8
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	if p.Mechanism == "" {
+		p.Mechanism = "ksp-adaptive"
+	}
+	if p.Estimator == "" {
+		p.Estimator = "link-load"
+	}
+	if p.PairSample < 0 {
+		return TopoResult{}, &paramError{fmt.Errorf("pair_sample must be non-negative, got %d", p.PairSample)}
+	}
+	if p.TopoSample < 0 {
+		return TopoResult{}, &paramError{fmt.Errorf("topo_sample must be non-negative, got %d", p.TopoSample)}
+	}
+
+	var params jellyfish.Params
+	if p.Topo != "" {
+		var err error
+		if params, err = jellyfish.ByName(p.Topo); err != nil {
+			return TopoResult{}, &paramError{err}
+		}
+	} else {
+		params = jellyfish.Params{N: p.N, X: p.X, Y: p.Y}
+		if err := params.Validate(); err != nil {
+			return TopoResult{}, &paramError{err}
+		}
+	}
+	alg, err := ksp.ByName(p.Selector)
+	if err != nil {
+		return TopoResult{}, &paramError{err}
+	}
+	mech, err := routing.ByName(p.Mechanism)
+	if err != nil {
+		return TopoResult{}, &paramError{err}
+	}
+	est, err := routing.EstimatorByName(p.Estimator)
+	if err != nil {
+		return TopoResult{}, &paramError{err}
+	}
+
+	// The experiment-seed derivation (internal/seeds): same -seed, same
+	// sample index → bit-identical graph and path DB as the binaries.
+	topo, err := jellyfish.New(params, seeds.TopoRNG(p.Seed, p.TopoSample))
+	if err != nil {
+		return TopoResult{}, err
+	}
+	cfg := ksp.Config{Alg: alg, K: p.K}
+	pathSeed := seeds.PathSeed(p.Seed, p.TopoSample, alg)
+	key := TopoKey(topo.G, cfg, pathSeed)
+
+	s.mu.Lock()
+	if e, ok := s.topos[key]; ok {
+		s.mu.Unlock()
+		return TopoResult{Key: key, AlreadyLoaded: true, Switches: params.N,
+			Terminals: topo.NumTerminals(), Pairs: e.pairs, K: e.db.K()}, nil
+	}
+	s.mu.Unlock()
+
+	var prs []paths.Pair
+	if p.PairSample > 0 {
+		prs = paths.SamplePairs(params.N, p.PairSample, xrand.NewPair(pathSeed, 0x706172)) // "par"
+	} else {
+		prs = paths.AllOrderedPairs(params.N)
+	}
+	t0 := time.Now()
+	db, cacheStats, err := paths.LoadOrBuild(s.opts.PathCache, topo.G, cfg, pathSeed, prs, s.opts.Workers)
+	if err != nil {
+		return TopoResult{}, err
+	}
+	loadSec := time.Since(t0).Seconds()
+
+	e := &topoEntry{
+		key:      key,
+		topo:     topo,
+		db:       db,
+		view:     &routing.View{Provider: db, NumNodes: params.N},
+		mechName: mech.Name(),
+		estName:  p.Estimator,
+		state:    mech.NewState(),
+		est:      est,
+		rng:      xrand.NewPair(pathSeed, topo.G.Fingerprint()),
+		pairs:    db.NumPairs(),
+	}
+	s.mu.Lock()
+	if prev, ok := s.topos[key]; ok {
+		// A concurrent load won the race; keep its state.
+		s.mu.Unlock()
+		return TopoResult{Key: key, AlreadyLoaded: true, Switches: params.N,
+			Terminals: topo.NumTerminals(), Pairs: prev.pairs, K: prev.db.K()}, nil
+	}
+	s.topos[key] = e
+	s.mu.Unlock()
+	s.logf("jfserve: loaded %s as %s (%d pairs, cache hit %v, %.2fs)",
+		params, key, e.pairs, cacheStats.Hit, loadSec)
+	return TopoResult{Key: key, Switches: params.N, Terminals: topo.NumTerminals(),
+		Pairs: e.pairs, K: p.K, CacheHit: cacheStats.Hit, LoadSeconds: loadSec}, nil
+}
+
+func (s *Server) handleTopoEvict(req Request) Response {
+	if req.Topo == "" {
+		return errResponse(req.ID, CodeBadRequest, "topo-evict needs topo")
+	}
+	s.mu.Lock()
+	_, ok := s.topos[req.Topo]
+	delete(s.topos, req.Topo)
+	s.mu.Unlock()
+	if !ok {
+		return errResponse(req.ID, CodeUnknownTopo, fmt.Sprintf("topology %q not loaded", req.Topo))
+	}
+	s.logf("jfserve: evicted %s", req.Topo)
+	return okResponse(req.ID)
+}
+
+func (s *Server) handleStats(req Request) Response {
+	uptime := time.Since(s.start).Seconds()
+	st := StatsResult{
+		UptimeSeconds: uptime,
+		Requests:      s.requests.Load(),
+		RouteLookups:  s.routeLookups.Load(),
+		PerOp:         make(map[string]int64, len(s.perOp)),
+		Latency:       latencySummaryOf(s.latency.Summarize()),
+	}
+	if uptime > 0 {
+		st.QPS = float64(st.Requests) / uptime
+	}
+	for op, c := range s.perOp {
+		st.PerOp[op] = c.Load()
+	}
+	s.mu.Lock()
+	for _, e := range s.topos {
+		st.Topos = append(st.Topos, TopoInfo{
+			Key: e.key, Switches: e.topo.N, Pairs: e.pairs, K: e.db.K(),
+			Mechanism: e.mechName, Estimator: e.estName,
+		})
+	}
+	s.mu.Unlock()
+	sort.Slice(st.Topos, func(i, j int) bool { return st.Topos[i].Key < st.Topos[j].Key })
+	resp := okResponse(req.ID)
+	resp.Stats = &st
+	return resp
+}

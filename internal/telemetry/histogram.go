@@ -80,6 +80,32 @@ func (h *Histogram) Counts() []int64 {
 	return out
 }
 
+// Summary is a compact percentile snapshot of a histogram, the shape
+// service endpoints report (jfserve's stats response embeds one for its
+// request-service latency).
+type Summary struct {
+	Count    int64
+	Mean     float64
+	P50      float64
+	P90      float64
+	P99      float64
+	Overflow int64
+}
+
+// Summarize snapshots the histogram's count, mean and p50/p90/p99. The
+// histogram may be observed concurrently; the snapshot is then
+// approximate in the usual racy-read sense, never invalid.
+func (h *Histogram) Summarize() Summary {
+	return Summary{
+		Count:    h.Count(),
+		Mean:     h.Mean(),
+		P50:      h.Percentile(0.50),
+		P90:      h.Percentile(0.90),
+		P99:      h.Percentile(0.99),
+		Overflow: h.Overflow(),
+	}
+}
+
 // Percentile returns the q-th percentile (q in [0,1]) as the lower bound
 // of the bucket holding that rank — the same convention the simulator's
 // Result percentiles use. An empty histogram returns 0; ranks that fall

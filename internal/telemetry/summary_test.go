@@ -1,0 +1,45 @@
+package telemetry
+
+import "testing"
+
+func TestSummarize(t *testing.T) {
+	h := NewHistogram(1, 100)
+	if s := h.Summarize(); s.Count != 0 || s.P99 != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	for v := int64(1); v <= 100; v++ {
+		h.Observe(v % 100) // values 0..99, uniform
+	}
+	s := h.Summarize()
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Mean < 49 || s.Mean > 50 {
+		t.Fatalf("mean = %v, want ~49.5", s.Mean)
+	}
+	if s.P50 < 48 || s.P50 > 51 {
+		t.Fatalf("p50 = %v", s.P50)
+	}
+	if s.P90 < 88 || s.P90 > 91 {
+		t.Fatalf("p90 = %v", s.P90)
+	}
+	if s.P99 < 97 || s.P99 > 99 {
+		t.Fatalf("p99 = %v", s.P99)
+	}
+	if s.Overflow != 0 {
+		t.Fatalf("overflow = %d", s.Overflow)
+	}
+
+	// Saturated samples land in the overflow bucket and pull the tail
+	// percentile to the cap, so stats never under-report slow requests.
+	for i := 0; i < 1000; i++ {
+		h.Observe(10_000)
+	}
+	s = h.Summarize()
+	if s.Overflow != 1000 {
+		t.Fatalf("overflow = %d, want 1000", s.Overflow)
+	}
+	if s.P99 != float64(h.Cap()) {
+		t.Fatalf("saturated p99 = %v, want cap %d", s.P99, h.Cap())
+	}
+}
