@@ -9,7 +9,7 @@
 # "current" numbers against the committed BENCH_*.json baselines the way
 # benchstat compares runs — several repetitions, interleaved, on an idle
 # machine — before trusting a delta (docs/PERFORMANCE.md).
-.PHONY: check build test bench bench-routing bench-flit bench-paths bench-serve fmt lint race-faults race-paths race-serve fuzz-paths serve-smoke docs-check
+.PHONY: check build test bench bench-routing bench-flit bench-paths bench-serve fmt lint race-faults race-paths race-serve race-chaos fuzz-paths serve-smoke chaos-smoke docs-check
 
 check: fmt lint
 	go vet ./...
@@ -17,6 +17,7 @@ check: fmt lint
 	$(MAKE) race-faults
 	$(MAKE) race-paths
 	$(MAKE) race-serve
+	$(MAKE) race-chaos
 	$(MAKE) fuzz-paths
 	$(MAKE) serve-smoke
 	$(MAKE) docs-check
@@ -55,11 +56,24 @@ race-paths:
 race-serve:
 	go test -race -run 'Concurrent|Shutdown' ./internal/serve
 
+# The chaos swarm — rogue clients (slow loris, mid-frame disconnects,
+# garbage floods, deadline overruns, injected panics) and retrying
+# well-behaved clients against one limited daemon — under the race
+# detector: the daemon must stay live and its health counters must
+# reconcile with the injected fault schedule.
+race-chaos:
+	go test -race -count=1 -run Chaos ./internal/serve/chaos
+
 # End-to-end daemon smoke: in-process server on a real Unix socket,
 # every protocol op through the Go client, one raw error frame, clean
 # drain on Stop (exits non-zero on any mismatch).
 serve-smoke:
 	go run ./internal/serve/smoke
+
+# The same chaos swarm without the race detector: the quick liveness
+# gate to run after touching the server's limits or shedding paths.
+chaos-smoke:
+	go test -count=1 -run Chaos -v ./internal/serve/chaos
 
 # Relative links in README.md and docs/*.md must point at real files.
 docs-check:

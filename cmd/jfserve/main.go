@@ -42,6 +42,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "build worker goroutines (0 = GOMAXPROCS)")
 		quiet     = flag.Bool("quiet", false, "suppress lifecycle logging")
 		pathCache = cliflags.PathCache()
+		limits    = cliflags.ServeLimitFlags()
 	)
 	flag.Parse()
 
@@ -56,9 +57,14 @@ func main() {
 		logf = nil
 	}
 	srv := serve.NewServer(serve.Options{
-		PathCache: *pathCache,
-		Workers:   *workers,
-		Logf:      logf,
+		PathCache:      *pathCache,
+		Workers:        *workers,
+		Logf:           logf,
+		MaxConns:       *limits.MaxConns,
+		MaxInFlight:    *limits.MaxInFlight,
+		ReadTimeout:    *limits.ReadTimeout,
+		WriteTimeout:   *limits.WriteTimeout,
+		HandlerTimeout: *limits.HandlerTimeout,
 	})
 
 	for _, topo := range splitList(*preload) {

@@ -15,6 +15,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"repro/internal/routing"
 )
@@ -135,6 +136,38 @@ func PathCache() *string {
 func Listen(def string) *string {
 	return flag.String("listen", def,
 		"listener spec: unix:<socket path> or tcp:<host:port>")
+}
+
+// ServeLimits is the flag set behind the jfserve resilience knobs
+// (docs/SERVICE.md "Capacity planning"). The defaults are the
+// production posture: bounded connections and in-flight work, generous
+// I/O deadlines, and no handler timeout (a cold topo-load legitimately
+// runs for minutes; enable -handler-timeout only with a warm -path-cache
+// or -preload).
+type ServeLimits struct {
+	MaxConns       *int
+	MaxInFlight    *int
+	ReadTimeout    *time.Duration
+	WriteTimeout   *time.Duration
+	HandlerTimeout *time.Duration
+}
+
+// ServeLimitFlags registers -max-conns, -max-inflight, -read-timeout,
+// -write-timeout and -handler-timeout. Zero disables the corresponding
+// limit.
+func ServeLimitFlags() ServeLimits {
+	return ServeLimits{
+		MaxConns: flag.Int("max-conns", 1024,
+			"maximum concurrent connections; extras get one overloaded frame and are closed (0 = unlimited)"),
+		MaxInFlight: flag.Int("max-inflight", 256,
+			"maximum concurrently executing requests; extras are answered overloaded (0 = unlimited)"),
+		ReadTimeout: flag.Duration("read-timeout", 5*time.Minute,
+			"per-request frame read deadline, doubling as the idle timeout (0 = none)"),
+		WriteTimeout: flag.Duration("write-timeout", time.Minute,
+			"per-response write deadline; a client not draining is disconnected (0 = none)"),
+		HandlerTimeout: flag.Duration("handler-timeout", 0,
+			"per-request handler execution bound, answered with the timeout code when exceeded (0 = none; cold topo-load can run minutes)"),
+	}
 }
 
 // Faults is the flag pair behind fault injection.

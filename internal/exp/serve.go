@@ -1,6 +1,9 @@
 package exp
 
 import (
+	"bufio"
+	"context"
+	"encoding/json"
 	"fmt"
 	"net"
 	"os"
@@ -16,8 +19,10 @@ import (
 
 // ServeBenchConfig sizes a jfserve serving benchmark: an in-process
 // server on a temp Unix socket, hammered by concurrent clients issuing
-// batched route lookups (the daemon's intended bulk shape) and then
-// single route round trips (the latency shape).
+// batched route lookups (the daemon's intended bulk shape), then single
+// route round trips (the latency shape), then an overload phase against
+// a second, deliberately under-provisioned server that measures the
+// load-shedding path (the resilience shape).
 type ServeBenchConfig struct {
 	// Topo names the topology (default small — the build must fit in
 	// the bench budget; pass PairSample to bench bigger ones).
@@ -43,6 +48,40 @@ type ServeBenchConfig struct {
 	SingleOps int
 	// Workers bounds the server-side build (0 = GOMAXPROCS).
 	Workers int
+
+	// OverloadInFlight is the second server's in-flight request limit
+	// (default 1 — every concurrent request past the first sheds).
+	OverloadInFlight int
+	// OverloadClients hammer the overloaded server concurrently
+	// (default 4 × GOMAXPROCS, at least 4).
+	OverloadClients int
+	// OverloadBatches is frames per overload client (default 50).
+	OverloadBatches int
+	// OverloadBatchPairs is pairs per overload frame (default 4096 —
+	// large enough that handlers run long and concurrent requests
+	// genuinely collide with the in-flight limit, even at GOMAXPROCS=1
+	// where short handlers serialize without ever overlapping).
+	OverloadBatchPairs int
+}
+
+// OverloadResult reports the load-shedding phase: an under-provisioned
+// server (in-flight limit far below the offered concurrency) must shed
+// with the overloaded code rather than queue or fall over, and the
+// requests it does accept must stay fast.
+type OverloadResult struct {
+	Clients     int   `json:"clients"`
+	MaxInFlight int   `json:"max_in_flight"`
+	Requests    int64 `json:"requests"`
+	// Shed counts requests refused with the overloaded code; ShedRate
+	// is Shed / Requests.
+	Shed     int64   `json:"shed"`
+	ShedRate float64 `json:"shed_rate"`
+	// Routed counts route lookups that succeeded despite the storm.
+	Routed  int64   `json:"routed_lookups"`
+	Seconds float64 `json:"seconds"`
+	// LatencyP99Micros is the server-side p99 service time under
+	// overload — shedding must keep it flat.
+	LatencyP99Micros float64 `json:"latency_p99_us"`
 }
 
 // ServeBenchResult reports a serving benchmark run. LookupsPerSec is
@@ -69,6 +108,8 @@ type ServeBenchResult struct {
 	SinglesPerSec float64 `json:"single_ops_per_sec"`
 
 	ServerLatency serve.LatencySummary `json:"server_latency"`
+
+	Overload *OverloadResult `json:"overload,omitempty"`
 }
 
 func (c ServeBenchConfig) withDefaults() ServeBenchConfig {
@@ -93,18 +134,32 @@ func (c ServeBenchConfig) withDefaults() ServeBenchConfig {
 	if c.SingleOps == 0 {
 		c.SingleOps = 2000
 	}
+	if c.OverloadInFlight == 0 {
+		c.OverloadInFlight = 1
+	}
+	if c.OverloadClients == 0 {
+		c.OverloadClients = max(4, 4*runtime.GOMAXPROCS(0))
+	}
+	if c.OverloadBatches == 0 {
+		c.OverloadBatches = 50
+	}
+	if c.OverloadBatchPairs == 0 {
+		c.OverloadBatchPairs = 4096
+	}
 	return c
 }
 
 // ServeBench starts a jfserve server on a temp Unix socket, loads the
 // configured topology, and drives it with concurrent batched and
-// single route lookups, reporting sustained lookups/sec (the
-// BENCH_serve.json quantities; run via `make bench-serve`).
+// single route lookups, reporting sustained lookups/sec, then measures
+// the shed rate and latency of an under-provisioned server under
+// overload (the BENCH_serve.json quantities; run via `make bench-serve`).
 func ServeBench(cfg ServeBenchConfig) (*ServeBenchResult, error) {
 	cfg = cfg.withDefaults()
-	if cfg.BatchSize > serve.MaxBatchPairs {
+	ctx := context.Background()
+	if cfg.BatchSize > serve.MaxBatchPairs || cfg.OverloadBatchPairs > serve.MaxBatchPairs {
 		return nil, fmt.Errorf("exp: batch size %d exceeds the protocol's %d-pair limit",
-			cfg.BatchSize, serve.MaxBatchPairs)
+			max(cfg.BatchSize, cfg.OverloadBatchPairs), serve.MaxBatchPairs)
 	}
 	dir, err := os.MkdirTemp("", "jfserve-bench")
 	if err != nil {
@@ -124,12 +179,12 @@ func ServeBench(cfg ServeBenchConfig) (*ServeBenchResult, error) {
 		<-serveDone
 	}()
 
-	ctl, err := client.Dial("unix", sock)
+	ctl, err := client.Dial(ctx, "unix", sock)
 	if err != nil {
 		return nil, err
 	}
 	defer ctl.Close()
-	topo, err := ctl.TopoLoad(serve.TopoParams{
+	topo, err := ctl.TopoLoad(ctx, serve.TopoParams{
 		Topo: cfg.Topo, K: cfg.K, Seed: cfg.Seed,
 		Mechanism: cfg.Mechanism, Estimator: cfg.Estimator,
 		PairSample: cfg.PairSample,
@@ -148,7 +203,7 @@ func ServeBench(cfg ServeBenchConfig) (*ServeBenchResult, error) {
 	// Phase 1: batched lookups, every client its own seeded pair stream.
 	clients := make([]*client.Client, cfg.Clients)
 	for i := range clients {
-		if clients[i], err = client.Dial("unix", sock); err != nil {
+		if clients[i], err = client.Dial(ctx, "unix", sock); err != nil {
 			return nil, err
 		}
 		defer clients[i].Close()
@@ -171,7 +226,7 @@ func ServeBench(cfg ServeBenchConfig) (*ServeBenchResult, error) {
 					d := rng.IntNExcept(topo.Switches, s)
 					pairs[j] = [2]int32{int32(s), int32(d)}
 				}
-				br, err := cl.RoutesBatch(topo.Key, pairs)
+				br, err := cl.RoutesBatch(ctx, topo.Key, pairs)
 				if err != nil {
 					errs <- err
 					return
@@ -203,7 +258,7 @@ func ServeBench(cfg ServeBenchConfig) (*ServeBenchResult, error) {
 			for op := 0; op < cfg.SingleOps; op++ {
 				s := rng.IntN(topo.Switches)
 				d := rng.IntNExcept(topo.Switches, s)
-				if _, err := cl.Route(topo.Key, int32(s), int32(d)); err != nil {
+				if _, err := cl.Route(ctx, topo.Key, int32(s), int32(d)); err != nil {
 					errs <- err
 					return
 				}
@@ -220,10 +275,183 @@ func ServeBench(cfg ServeBenchConfig) (*ServeBenchResult, error) {
 	res.SingleOps = int64(cfg.Clients) * int64(cfg.SingleOps)
 	res.SinglesPerSec = float64(res.SingleOps) / res.SingleSeconds
 
-	stats, err := ctl.Stats()
+	stats, err := ctl.Stats(ctx)
 	if err != nil {
 		return nil, err
 	}
 	res.ServerLatency = stats.Latency
+
+	over, err := serveOverloadBench(ctx, dir, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.Overload = over
+	return res, nil
+}
+
+// serveOverloadBench runs the shed-rate phase: a fresh server with a
+// tiny in-flight limit, hammered by pipelined batch clients with no
+// retry policy while one "slow tenant" issues requests that hold an
+// in-flight slot without burning CPU (the test-sleep op). The slow
+// tenant is what makes the phase meaningful on any machine: CPU-bound
+// handlers on a single-core box serialize and never overlap, but
+// slot-holding slow requests force the batch traffic onto the shedding
+// path, so the row measures the daemon saying overloaded — and staying
+// fast — rather than quietly queueing behind a stalled tenant.
+func serveOverloadBench(ctx context.Context, dir string, cfg ServeBenchConfig) (*OverloadResult, error) {
+	sock := filepath.Join(dir, "jfserve-overload.sock")
+	l, err := net.Listen("unix", sock)
+	if err != nil {
+		return nil, err
+	}
+	srv := serve.NewServer(serve.Options{
+		Workers: cfg.Workers, MaxInFlight: cfg.OverloadInFlight, EnableTestOps: true,
+	})
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(l) }()
+	defer func() {
+		srv.Stop()
+		<-serveDone
+	}()
+
+	ctl, err := client.Dial(ctx, "unix", sock)
+	if err != nil {
+		return nil, err
+	}
+	defer ctl.Close()
+	topo, err := ctl.TopoLoad(ctx, serve.TopoParams{
+		Topo: cfg.Topo, K: cfg.K, Seed: cfg.Seed,
+		Mechanism: cfg.Mechanism, Estimator: cfg.Estimator,
+		PairSample: cfg.PairSample,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &OverloadResult{Clients: cfg.OverloadClients, MaxInFlight: cfg.OverloadInFlight}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	errs := make(chan error, 2*cfg.OverloadClients+1)
+	start := time.Now()
+
+	// The slow tenant: synchronous 5ms slot-holders for the whole phase.
+	// Its own requests may shed too when batch handlers hold the slots;
+	// those are not counted — it exists to generate contention.
+	stopSlow := make(chan struct{})
+	var slowWG sync.WaitGroup
+	slowWG.Add(1)
+	go func() {
+		defer slowWG.Done()
+		cl, err := client.Dial(ctx, "unix", sock)
+		if err != nil {
+			errs <- err
+			return
+		}
+		defer cl.Close()
+		for {
+			select {
+			case <-stopSlow:
+				return
+			default:
+			}
+			_, err := cl.Do(ctx, serve.Request{Op: serve.OpTestSleep, SleepMS: 5})
+			if err != nil && ctx.Err() != nil {
+				return
+			}
+		}
+	}()
+
+	for i := 0; i < cfg.OverloadClients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Pipelined raw connection: all frames are written without
+			// waiting for responses, so requests from different
+			// connections genuinely contend for the in-flight limit (a
+			// synchronous client self-clocks and never overloads a
+			// single-CPU server).
+			conn, err := net.Dial("unix", sock)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer conn.Close()
+			rng := xrand.NewPair(cfg.Seed^0x6f766572, uint64(i)) // "over"
+			pairs := make([][2]int32, cfg.OverloadBatchPairs)
+			var writeWG sync.WaitGroup
+			writeWG.Add(1)
+			go func() {
+				defer writeWG.Done()
+				bw := bufio.NewWriterSize(conn, 64<<10)
+				enc := json.NewEncoder(bw)
+				for b := 0; b < cfg.OverloadBatches; b++ {
+					for j := range pairs {
+						s := rng.IntN(topo.Switches)
+						d := rng.IntNExcept(topo.Switches, s)
+						pairs[j] = [2]int32{int32(s), int32(d)}
+					}
+					// Encode marshals before returning, so reusing pairs
+					// across iterations is safe.
+					if err := enc.Encode(serve.Request{
+						V: serve.ProtocolVersion, ID: fmt.Sprintf("o%d-%d", i, b),
+						Op: serve.OpRoutesBatch, Topo: topo.Key, Pairs: pairs,
+					}); err != nil {
+						errs <- err
+						return
+					}
+				}
+				if err := bw.Flush(); err != nil {
+					errs <- err
+				}
+			}()
+			sc := bufio.NewScanner(conn)
+			sc.Buffer(make([]byte, 64<<10), serve.MaxFrameBytes)
+			var requests, shed, routedHere int64
+			for b := 0; b < cfg.OverloadBatches; b++ {
+				if !sc.Scan() {
+					errs <- fmt.Errorf("exp: overload conn closed after %d of %d responses: %v",
+						b, cfg.OverloadBatches, sc.Err())
+					break
+				}
+				var resp serve.Response
+				if err := json.Unmarshal(sc.Bytes(), &resp); err != nil {
+					errs <- err
+					break
+				}
+				requests++
+				switch {
+				case resp.OK && resp.Batch != nil:
+					routedHere += int64(resp.Batch.Routed)
+				case resp.Error != nil && resp.Error.Code == serve.CodeOverloaded:
+					shed++
+				default:
+					errs <- fmt.Errorf("exp: overload response %+v", resp)
+				}
+			}
+			writeWG.Wait()
+			mu.Lock()
+			res.Requests += requests
+			res.Shed += shed
+			res.Routed += routedHere
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	close(stopSlow)
+	slowWG.Wait()
+	res.Seconds = time.Since(start).Seconds()
+	select {
+	case err := <-errs:
+		return nil, err
+	default:
+	}
+	if res.Requests > 0 {
+		res.ShedRate = float64(res.Shed) / float64(res.Requests)
+	}
+	stats, err := ctl.Stats(ctx)
+	if err != nil {
+		return nil, err
+	}
+	res.LatencyP99Micros = stats.Latency.P99Micros
 	return res, nil
 }

@@ -1,0 +1,157 @@
+package paths
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The corruption fixtures are committed alongside the v1 golden cache
+// (testdata/pathdb_v1.jfpc) and derived from it deterministically:
+//
+//	badsum     the golden bytes with the trailing checksum flipped —
+//	           structurally valid, so only the checksum catches it
+//	truncated  the golden bytes cut off mid-arena — a torn write or a
+//	           partially copied cache file
+//
+// Regenerate with `go test -run Golden -update-golden` (they follow the
+// golden fixture automatically).
+const (
+	badsumFixture    = "testdata/pathdb_v1_badsum.jfpc"
+	truncatedFixture = "testdata/pathdb_v1_truncated.jfpc"
+)
+
+func corruptFixtureBytes(t *testing.T, golden []byte) (badsum, truncated []byte) {
+	t.Helper()
+	if len(golden) < 32 {
+		t.Fatalf("golden fixture implausibly short: %d bytes", len(golden))
+	}
+	badsum = bytes.Clone(golden)
+	badsum[len(badsum)-1] ^= 0xff // inside the u64 checksum footer
+	truncated = bytes.Clone(golden[:len(golden)-11])
+	return badsum, truncated
+}
+
+func TestCorruptFixturesUpToDate(t *testing.T) {
+	golden, err := os.ReadFile(goldenCacheFixture)
+	if err != nil {
+		t.Fatalf("%v (run with -update-golden to generate)", err)
+	}
+	badsum, truncated := corruptFixtureBytes(t, golden)
+	if *updateGolden {
+		for file, data := range map[string][]byte{badsumFixture: badsum, truncatedFixture: truncated} {
+			if err := os.WriteFile(file, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		t.Log("rewrote corruption fixtures")
+		return
+	}
+	for file, want := range map[string][]byte{badsumFixture: badsum, truncatedFixture: truncated} {
+		got, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatalf("%v (run with -update-golden to generate)", err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s drifted from its derivation off the golden fixture", file)
+		}
+	}
+}
+
+func TestReadCacheRejectsCorruptFixtures(t *testing.T) {
+	g := goldenGraph(t)
+	for _, tc := range []struct {
+		file string
+		want string
+	}{
+		{badsumFixture, "checksum mismatch"},
+		{truncatedFixture, "truncated"},
+	} {
+		raw, err := os.ReadFile(tc.file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _, err = ReadCache(bytes.NewReader(raw), g)
+		if err == nil {
+			t.Fatalf("%s loaded successfully, want %q error", tc.file, tc.want)
+		}
+		if errors.Is(err, ErrCacheVersion) {
+			t.Fatalf("%s misreported corruption as version skew: %v", tc.file, err)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not mention %q", tc.file, err, tc.want)
+		}
+	}
+}
+
+// TestReadCacheNeverPanicsOnShortReads feeds ReadCache every prefix of
+// the golden fixture (stepping a few bytes at a time to stay fast): all
+// must fail cleanly — an error, never a panic or a success.
+func TestReadCacheNeverPanicsOnShortReads(t *testing.T) {
+	g := goldenGraph(t)
+	raw, err := os.ReadFile(goldenCacheFixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(raw); cut += 3 {
+		if _, _, err := ReadCache(bytes.NewReader(raw[:cut]), g); err == nil {
+			t.Fatalf("prefix of %d/%d bytes loaded successfully", cut, len(raw))
+		}
+	}
+}
+
+// loadOrBuildFallback plants a bad cache file at the key LoadOrBuild
+// will consult and asserts it falls back to a clean rebuild: the
+// returned DB matches a fresh build, the stats record the discard, and
+// the poisoned file is replaced by a valid entry (the next load hits).
+func loadOrBuildFallback(t *testing.T, fixture, wantErr string) {
+	g := goldenGraph(t)
+	fresh := goldenDB(t, g)
+	key := goldenKey(g, fresh)
+	dir := t.TempDir()
+
+	bad, err := os.ReadFile(fixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, CacheFileName(key)), bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	db, stats, err := LoadOrBuild(dir, g, fresh.Config(), fresh.Seed(), goldenPairs, 1)
+	if err != nil {
+		t.Fatalf("LoadOrBuild failed instead of rebuilding: %v", err)
+	}
+	if stats.Hit {
+		t.Fatal("corrupt cache file reported as a hit")
+	}
+	if stats.LoadErr == nil || !strings.Contains(stats.LoadErr.Error(), wantErr) {
+		t.Fatalf("LoadErr = %v, want mention of %q", stats.LoadErr, wantErr)
+	}
+	if !bytes.Equal(textBytes(t, db), textBytes(t, fresh)) {
+		t.Fatal("rebuilt DB differs from a fresh build")
+	}
+
+	// The rebuild must have replaced the poisoned file with a valid one.
+	db2, stats2, err := LoadOrBuild(dir, g, fresh.Config(), fresh.Seed(), goldenPairs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats2.Hit || stats2.LoadErr != nil {
+		t.Fatalf("second load after rebuild: %+v, want a clean hit", stats2)
+	}
+	if !bytes.Equal(textBytes(t, db2), textBytes(t, fresh)) {
+		t.Fatal("cache round trip after rebuild differs from a fresh build")
+	}
+}
+
+func TestLoadOrBuildFallsBackOnChecksumMismatch(t *testing.T) {
+	loadOrBuildFallback(t, badsumFixture, "checksum mismatch")
+}
+
+func TestLoadOrBuildFallsBackOnTruncation(t *testing.T) {
+	loadOrBuildFallback(t, truncatedFixture, "truncated")
+}

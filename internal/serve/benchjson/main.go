@@ -36,6 +36,10 @@ func main() {
 		singles   = flag.Int("singles", 2000, "single-route round trips per client")
 		pairs     = flag.Int("pairs", 0, "pair sample size (0 = all ordered pairs)")
 		estimator = flag.String("estimator", "link-load", "load estimator: zero, hops or link-load")
+
+		overInFlight = flag.Int("overload-inflight", 1, "overload phase: server in-flight limit")
+		overClients  = flag.Int("overload-clients", 0, "overload phase: concurrent clients (0 = 4×GOMAXPROCS, min 4)")
+		overBatches  = flag.Int("overload-batches", 50, "overload phase: frames per client")
 	)
 	flag.Parse()
 
@@ -43,6 +47,8 @@ func main() {
 		Topo: *topo, K: *k, Seed: *seed, Estimator: *estimator,
 		Clients: *clients, BatchSize: *batch, Batches: *batches,
 		SingleOps: *singles, PairSample: *pairs,
+		OverloadInFlight: *overInFlight, OverloadClients: *overClients,
+		OverloadBatches: *overBatches,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -73,4 +79,8 @@ func main() {
 	}
 	fmt.Printf("wrote %s: %.0f batched lookups/sec, %.0f single ops/sec (%d clients)\n",
 		*out, res.LookupsPerSec, res.SinglesPerSec, res.Clients)
+	if o := res.Overload; o != nil {
+		fmt.Printf("overload: %.0f%% shed at %d clients over in-flight limit %d (p99 %.0fus)\n",
+			100*o.ShedRate, o.Clients, o.MaxInFlight, o.LatencyP99Micros)
+	}
 }

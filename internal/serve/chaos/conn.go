@@ -1,0 +1,135 @@
+// Package chaos is the jfserve fault-injection harness: a net.Conn
+// wrapper that perturbs I/O on a seeded schedule, a cast of misbehaving
+// clients (slow-loris writers, mid-frame disconnects, garbage floods,
+// deadline-exceeding batches, crash injectors), and a swarm runner that
+// points rogues and well-behaved clients at a live daemon at once. The
+// package's own tests double as the chaos gate (`make chaos-smoke` and
+// the -race leg in `make check`): the daemon must stay live, keep
+// serving the well-behaved clients, and report counters that reconcile
+// with the injected fault schedule.
+//
+// Everything is deterministic from a seed (repo convention: same seed,
+// same schedule), so a chaos failure replays exactly.
+package chaos
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/xrand"
+)
+
+// ConnConfig schedules faults on a wrapped connection. The zero value
+// is transparent; each field enables one fault independently.
+type ConnConfig struct {
+	// Seed derives the fault schedule (0 behaves as 1).
+	Seed uint64
+	// ReadDelay, when positive, sleeps a uniform random duration in
+	// [0, ReadDelay] before each Read.
+	ReadDelay time.Duration
+	// WriteDelay does the same before each underlying Write.
+	WriteDelay time.Duration
+	// WriteChunk, when positive, splits each Write into chunks of
+	// uniform random size in [1, WriteChunk] — a peer that fragments
+	// frames across many small segments.
+	WriteChunk int
+	// DropAfterBytes, when positive, hard-closes the connection once
+	// this many bytes have been written — a peer dying mid-frame.
+	DropAfterBytes int64
+}
+
+// faultConn wraps a net.Conn with the configured faults. Reads and
+// writes each use their own RNG stream so read scheduling does not
+// perturb write chunking.
+type faultConn struct {
+	net.Conn
+	cfg ConnConfig
+
+	mu       sync.Mutex
+	readRNG  *xrand.RNG
+	writeRNG *xrand.RNG
+	written  int64
+	dropped  bool
+}
+
+// Wrap returns conn with cfg's faults layered on top. The result is
+// safe for the usual net.Conn discipline (one reader, one writer).
+func Wrap(conn net.Conn, cfg ConnConfig) net.Conn {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &faultConn{
+		Conn:     conn,
+		cfg:      cfg,
+		readRNG:  xrand.NewPair(seed, 0x72656164), // "read"
+		writeRNG: xrand.NewPair(seed, 0x77726974), // "writ"
+	}
+}
+
+func (f *faultConn) delay(max time.Duration, rng *xrand.RNG) {
+	if max <= 0 {
+		return
+	}
+	f.mu.Lock()
+	d := time.Duration(rng.Int64N(int64(max) + 1))
+	f.mu.Unlock()
+	time.Sleep(d)
+}
+
+func (f *faultConn) Read(p []byte) (int, error) {
+	f.delay(f.cfg.ReadDelay, f.readRNG)
+	return f.Conn.Read(p)
+}
+
+func (f *faultConn) Write(p []byte) (int, error) {
+	total := 0
+	for len(p) > 0 {
+		f.mu.Lock()
+		if f.dropped {
+			f.mu.Unlock()
+			return total, fmt.Errorf("chaos: connection dropped after %d bytes", f.written)
+		}
+		n := len(p)
+		if f.cfg.WriteChunk > 0 && f.cfg.WriteChunk < n {
+			n = 1 + f.writeRNG.IntN(f.cfg.WriteChunk)
+			if n > len(p) {
+				n = len(p)
+			}
+		}
+		drop := f.cfg.DropAfterBytes > 0 && f.written+int64(n) > f.cfg.DropAfterBytes
+		if drop {
+			// Truncate to the drop point, send that, then die.
+			if keep := f.cfg.DropAfterBytes - f.written; keep > 0 {
+				n = int(keep)
+			} else {
+				f.dropped = true
+				f.mu.Unlock()
+				f.Conn.Close()
+				return total, fmt.Errorf("chaos: connection dropped after %d bytes", f.written)
+			}
+		}
+		f.mu.Unlock()
+
+		f.delay(f.cfg.WriteDelay, f.writeRNG)
+		wn, err := f.Conn.Write(p[:n])
+		f.mu.Lock()
+		f.written += int64(wn)
+		f.mu.Unlock()
+		total += wn
+		if err != nil {
+			return total, err
+		}
+		p = p[wn:]
+		if drop {
+			f.mu.Lock()
+			f.dropped = true
+			f.mu.Unlock()
+			f.Conn.Close()
+			return total, fmt.Errorf("chaos: connection dropped after %d bytes", f.cfg.DropAfterBytes)
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,105 @@
+package chaos
+
+import (
+	"bytes"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// recordConn captures the sizes of the writes it receives.
+type recordConn struct {
+	net.Conn // nil; only Write/Close are used
+	mu       sync.Mutex
+	chunks   []int
+	buf      bytes.Buffer
+	closed   bool
+}
+
+func (r *recordConn) Write(p []byte) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.chunks = append(r.chunks, len(p))
+	return r.buf.Write(p)
+}
+
+func (r *recordConn) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.closed = true
+	return nil
+}
+
+func TestWrapChunkingDeterministic(t *testing.T) {
+	payload := bytes.Repeat([]byte("jellyfish"), 40)
+	run := func() ([]int, []byte) {
+		rec := &recordConn{}
+		fc := Wrap(rec, ConnConfig{Seed: 42, WriteChunk: 11})
+		n, err := fc.Write(payload)
+		if err != nil || n != len(payload) {
+			t.Fatalf("write = %d, %v; want %d, nil", n, err, len(payload))
+		}
+		return rec.chunks, rec.buf.Bytes()
+	}
+	chunks1, out1 := run()
+	chunks2, out2 := run()
+	if !bytes.Equal(out1, payload) {
+		t.Fatal("chunked write corrupted the payload")
+	}
+	if !bytes.Equal(out1, out2) {
+		t.Fatal("same seed produced different payloads")
+	}
+	if len(chunks1) < 2 {
+		t.Fatalf("payload of %d bytes written in %d chunks; chunking inactive", len(payload), len(chunks1))
+	}
+	for i, c := range chunks1 {
+		if c < 1 || c > 11 {
+			t.Fatalf("chunk %d has size %d outside [1, 11]", i, c)
+		}
+		if c != chunks2[i] {
+			t.Fatalf("same seed produced different schedules: %v vs %v", chunks1, chunks2)
+		}
+	}
+}
+
+func TestWrapDropAfterBytes(t *testing.T) {
+	rec := &recordConn{}
+	fc := Wrap(rec, ConnConfig{Seed: 1, DropAfterBytes: 10})
+	payload := []byte("0123456789abcdef")
+	n, err := fc.Write(payload)
+	if err == nil {
+		t.Fatal("write past the drop point succeeded")
+	}
+	if n != 10 {
+		t.Fatalf("wrote %d bytes before the drop, want exactly 10", n)
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if !rec.closed {
+		t.Fatal("underlying connection not closed at the drop point")
+	}
+	if got := rec.buf.String(); got != "0123456789" {
+		t.Fatalf("delivered %q, want the first 10 bytes", got)
+	}
+	// Every later write fails fast.
+	if _, err := fc.Write([]byte("x")); err == nil {
+		t.Fatal("write after drop succeeded")
+	}
+}
+
+func TestWrapReadDelay(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	fc := Wrap(a, ConnConfig{Seed: 7, ReadDelay: 20 * time.Millisecond})
+	go b.Write([]byte("hi"))
+	t0 := time.Now()
+	buf := make([]byte, 2)
+	if _, err := fc.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(t0); elapsed > 2*time.Second {
+		t.Fatalf("read took %v, delay schedule broken", elapsed)
+	}
+}

@@ -1,0 +1,159 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/serve"
+	"repro/internal/serve/client"
+	"repro/internal/xrand"
+)
+
+// SwarmConfig points a mixed population — rogues plus well-behaved
+// retrying clients — at one daemon.
+type SwarmConfig struct {
+	Network, Addr string
+	// Rogues all run concurrently.
+	Rogues []Rogue
+	// GoodClients well-behaved clients each issue GoodRequests route or
+	// health requests with the retry policy, treating overloaded as
+	// backpressure.
+	GoodClients  int
+	GoodRequests int
+	// TopoKey and Switches direct the good clients' route lookups; with
+	// an empty key they issue health probes instead.
+	TopoKey  string
+	Switches int
+	// Seed derives the good clients' pair streams (0 behaves as 1).
+	Seed uint64
+	// Retry overrides the good clients' retry policy (zero value =
+	// client.DefaultRetry).
+	Retry client.RetryPolicy
+}
+
+// Report is a swarm run's outcome, for asserting liveness and
+// reconciling the daemon's health counters against the schedule.
+type Report struct {
+	// RogueErrors holds one entry per rogue whose expected defensive
+	// reaction did not materialize.
+	RogueErrors []string
+	// GoodErrors holds one entry per well-behaved request that failed
+	// even after retries — under chaos these must stay empty.
+	GoodErrors []string
+	// GoodResponses counts successful well-behaved round trips.
+	GoodResponses int64
+}
+
+// RunSwarm runs every rogue and good client concurrently until all
+// complete their schedules (or ctx ends) and reports the aggregate.
+func RunSwarm(ctx context.Context, cfg SwarmConfig) Report {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	retry := cfg.Retry
+	if retry == (client.RetryPolicy{}) {
+		retry = client.DefaultRetry
+	}
+
+	var mu sync.Mutex
+	var rep Report
+	var wg sync.WaitGroup
+
+	for _, r := range cfg.Rogues {
+		wg.Add(1)
+		go func(r Rogue) {
+			defer wg.Done()
+			if err := r.Run(ctx, cfg.Network, cfg.Addr); err != nil {
+				mu.Lock()
+				rep.RogueErrors = append(rep.RogueErrors, fmt.Sprintf("%s: %v", r.Name(), err))
+				mu.Unlock()
+			}
+		}(r)
+	}
+
+	for i := 0; i < cfg.GoodClients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p := retry
+			p.Seed = seed ^ uint64(i+1)
+			c, err := client.DialRetry(ctx, cfg.Network, cfg.Addr, p)
+			if err != nil {
+				mu.Lock()
+				rep.GoodErrors = append(rep.GoodErrors, fmt.Sprintf("good %d: dial: %v", i, err))
+				mu.Unlock()
+				return
+			}
+			defer c.Close()
+			rng := xrand.NewPair(seed, uint64(i)^0x676f6f64) // "good"
+			var good int64
+			for op := 0; op < cfg.GoodRequests; op++ {
+				if ctx.Err() != nil {
+					break
+				}
+				var err error
+				if cfg.TopoKey != "" && cfg.Switches > 1 {
+					s := rng.IntN(cfg.Switches)
+					d := rng.IntNExcept(cfg.Switches, s)
+					_, err = c.Route(ctx, cfg.TopoKey, int32(s), int32(d))
+				} else {
+					_, err = c.Health(ctx)
+				}
+				if err != nil {
+					mu.Lock()
+					rep.GoodErrors = append(rep.GoodErrors, fmt.Sprintf("good %d op %d: %v", i, op, err))
+					mu.Unlock()
+					return
+				}
+				good++
+			}
+			mu.Lock()
+			rep.GoodResponses += good
+			mu.Unlock()
+		}(i)
+	}
+
+	wg.Wait()
+	return rep
+}
+
+// Reconcile compares a post-swarm health snapshot against the injected
+// schedule: every acknowledged crash must appear in the panic counter
+// and every observed handler timeout in the timeout counter. Counters
+// may exceed the tallies (other traffic can trip them too) but never
+// fall short. It returns a description of the first mismatch, or "".
+func Reconcile(h serve.HealthResult, rogues []Rogue) string {
+	var crashes, timeouts int
+	for _, r := range rogues {
+		switch x := r.(type) {
+		case *CrashInjector:
+			crashes += x.CrashesAcked
+		case *DeadlineExceeder:
+			timeouts += x.TimeoutsSeen
+		}
+	}
+	if int(h.Panics) < crashes {
+		return fmt.Sprintf("health panics %d < %d acked crash injections", h.Panics, crashes)
+	}
+	if int(h.HandlerTimeouts) < timeouts {
+		return fmt.Sprintf("health handler_timeouts %d < %d observed timeouts", h.HandlerTimeouts, timeouts)
+	}
+	return ""
+}
+
+// ExactPanics is the strict variant for schedules where the crash
+// injectors are the only panic source: the counter must match exactly.
+func ExactPanics(h serve.HealthResult, rogues []Rogue) string {
+	var crashes int
+	for _, r := range rogues {
+		if x, ok := r.(*CrashInjector); ok {
+			crashes += x.CrashesAcked
+		}
+	}
+	if int(h.Panics) != crashes {
+		return fmt.Sprintf("health panics %d != %d acked crash injections", h.Panics, crashes)
+	}
+	return ""
+}

@@ -1,19 +1,31 @@
 // Package client is the in-repo Go client for the jfserve wire protocol
 // (docs/SERVICE.md): newline-delimited JSON requests over a Unix socket
 // or TCP connection, one response per request, in order. It exists for
-// the protocol tests, the serve smoke gate and exp.ServeBench; a
-// third-party client should be written from docs/SERVICE.md alone.
+// the protocol tests, the serve smoke gate, the chaos harness and
+// exp.ServeBench; a third-party client should be written from
+// docs/SERVICE.md alone.
+//
+// Every call takes a context.Context: a deadline bounds the dial and
+// each request's network I/O, and cancellation interrupts a call that
+// is blocked mid-read. An optional RetryPolicy adds capped exponential
+// backoff with full jitter for idempotent operations, honoring the
+// server's overloaded code as a backpressure signal (docs/SERVICE.md
+// "Retrying").
 package client
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/serve"
+	"repro/internal/xrand"
 )
 
 // RemoteError is a protocol-level failure: the server answered with
@@ -28,6 +40,28 @@ func (e *RemoteError) Error() string {
 	return fmt.Sprintf("jfserve: %s: %s", e.Code, e.Message)
 }
 
+// RetryPolicy configures automatic retries of idempotent operations.
+// The zero value is not usable; fill at least MaxAttempts or use
+// DefaultRetry. Backoff before attempt n (n >= 2) is a uniformly random
+// ("full jitter") duration in [0, min(MaxDelay, BaseDelay·2^(n-2))] —
+// the AWS-style policy that decorrelates clients a shedding server just
+// turned away.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries, including the first
+	// (values < 1 behave as 1 — no retries).
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff (default 5ms).
+	BaseDelay time.Duration
+	// MaxDelay caps one backoff sleep (default 1s).
+	MaxDelay time.Duration
+	// Seed makes the jitter stream deterministic for tests; 0 picks 1.
+	Seed uint64
+}
+
+// DefaultRetry is a reasonable interactive policy: 4 attempts, 5ms
+// base, 1s cap.
+var DefaultRetry = RetryPolicy{MaxAttempts: 4, BaseDelay: 5 * time.Millisecond, MaxDelay: time.Second}
+
 // Client is a synchronous jfserve client. Methods may be called from
 // multiple goroutines; requests are serialized on the one connection
 // (for throughput, open several clients and batch — see exp.ServeBench).
@@ -38,19 +72,45 @@ type Client struct {
 	w      *bufio.Writer
 	enc    *json.Encoder
 	nextID uint64
+	closed bool
+
+	// Redial target; empty for New-wrapped connections, which cannot
+	// reconnect and therefore never retry transport errors.
+	network, addr string
+
+	retry RetryPolicy
+	rng   *xrand.RNG
 }
 
 // Dial connects to a jfserve listener ("unix", "/tmp/jfserve.sock" or
-// "tcp", "host:port").
-func Dial(network, addr string) (*Client, error) {
-	conn, err := net.Dial(network, addr)
+// "tcp", "host:port"). The context bounds the dial; it does not govern
+// later calls (each call takes its own).
+func Dial(ctx context.Context, network, addr string) (*Client, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, network, addr)
 	if err != nil {
 		return nil, err
 	}
-	return New(conn), nil
+	c := New(conn)
+	c.network, c.addr = network, addr
+	return c, nil
 }
 
-// New wraps an established connection.
+// DialRetry is Dial plus a retry policy: idempotent calls that fail
+// with overloaded, timeout or a transport error are retried with capped
+// exponential backoff and full jitter, redialing as needed.
+func DialRetry(ctx context.Context, network, addr string, p RetryPolicy) (*Client, error) {
+	c, err := Dial(ctx, network, addr)
+	if err != nil {
+		return nil, err
+	}
+	c.SetRetry(p)
+	return c, nil
+}
+
+// New wraps an established connection. A wrapped client cannot redial,
+// so a retry policy set on it only retries overloaded responses (the
+// connection is still good); transport failures are terminal.
 func New(conn net.Conn) *Client {
 	c := &Client{conn: conn, w: bufio.NewWriterSize(conn, 64<<10)}
 	c.sc = bufio.NewScanner(conn)
@@ -59,51 +119,238 @@ func New(conn net.Conn) *Client {
 	return c
 }
 
-// Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }
-
-// Do sends one request and returns the matching response. The version
-// and a fresh id are filled in; a response with ok=false is returned
-// along with the corresponding *RemoteError.
-func (c *Client) Do(req serve.Request) (serve.Response, error) {
+// SetRetry installs a retry policy (see RetryPolicy; zero MaxAttempts
+// disables retries again).
+func (c *Client) SetRetry(p RetryPolicy) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 5 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = time.Second
+	}
+	seed := p.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	c.retry = p
+	c.rng = xrand.NewPair(seed, 0x6a697474) // "jitt"
+}
+
+// Close closes the connection; later calls fail without redialing.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+// idempotentOps lists the operations safe to re-send when the first
+// attempt's fate is unknown (transport error, server-side timeout).
+// route and routes-batch advance the adaptive mechanism's state, but a
+// re-sent lookup simply returns another valid choice — the daemon makes
+// no exactly-once promise about choices. topo-load is idempotent by
+// design (already_loaded). topo-evict is NOT: a retry after a success
+// that was lost in transit answers unknown-topo.
+var idempotentOps = map[string]bool{
+	serve.OpRoute:       true,
+	serve.OpRoutesBatch: true,
+	serve.OpEstimate:    true,
+	serve.OpTopoLoad:    true,
+	serve.OpStats:       true,
+	serve.OpHealth:      true,
+}
+
+// Do sends one request and returns the matching response, retrying
+// under the client's policy. The version and a fresh id are filled in;
+// a response with ok=false is returned along with the corresponding
+// *RemoteError.
+func (c *Client) Do(ctx context.Context, req serve.Request) (serve.Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	attempts := c.retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var resp serve.Response
+	var err error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			if serr := c.backoffLocked(ctx, attempt); serr != nil {
+				return resp, err // context expired while backing off
+			}
+		}
+		resp, err = c.doLocked(ctx, req)
+		if err == nil || !c.retryableLocked(req.Op, err) || ctx.Err() != nil {
+			return resp, err
+		}
+	}
+	return resp, err
+}
+
+// retryableLocked decides whether err on op warrants another attempt.
+func (c *Client) retryableLocked(op string, err error) bool {
+	var re *RemoteError
+	if errors.As(err, &re) {
+		switch re.Code {
+		case serve.CodeOverloaded:
+			// Backpressure: the server refused before executing, so a
+			// retry is safe for every op.
+			return true
+		case serve.CodeTimeout:
+			// The request may have executed; only idempotent ops retry.
+			return idempotentOps[op]
+		}
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	// Transport error: the connection is broken (doLocked dropped it).
+	// Retry only if the op is idempotent and we can redial.
+	return idempotentOps[op] && c.network != "" && !c.closed
+}
+
+// backoffLocked sleeps the full-jitter backoff for the given attempt
+// (1-based over the retries), honoring ctx.
+func (c *Client) backoffLocked(ctx context.Context, attempt int) error {
+	ceil := c.retry.BaseDelay << (attempt - 1)
+	if ceil <= 0 || ceil > c.retry.MaxDelay {
+		ceil = c.retry.MaxDelay
+	}
+	d := time.Duration(c.rng.Int64N(int64(ceil) + 1))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// redialLocked re-establishes the connection after a transport failure.
+func (c *Client) redialLocked(ctx context.Context) error {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, c.network, c.addr)
+	if err != nil {
+		return err
+	}
+	c.conn = conn
+	c.w = bufio.NewWriterSize(conn, 64<<10)
+	c.sc = bufio.NewScanner(conn)
+	c.sc.Buffer(make([]byte, 64<<10), serve.MaxFrameBytes)
+	c.enc = json.NewEncoder(c.w)
+	return nil
+}
+
+// failLocked drops a connection whose stream can no longer be trusted
+// (half-written frame, unread response).
+func (c *Client) failLocked() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+}
+
+// doLocked performs one attempt: write the frame, read the response.
+// The context's deadline bounds the network I/O and cancellation
+// interrupts a blocked read or write.
+func (c *Client) doLocked(ctx context.Context, req serve.Request) (serve.Response, error) {
+	if err := ctx.Err(); err != nil {
+		return serve.Response{}, err
+	}
+	if c.closed {
+		return serve.Response{}, fmt.Errorf("jfserve: client is closed")
+	}
+	if c.conn == nil {
+		if c.network == "" {
+			return serve.Response{}, fmt.Errorf("jfserve: connection is closed")
+		}
+		if err := c.redialLocked(ctx); err != nil {
+			return serve.Response{}, err
+		}
+	}
 	req.V = serve.ProtocolVersion
 	if req.ID == "" {
 		c.nextID++
 		req.ID = strconv.FormatUint(c.nextID, 10)
 	}
+
+	// Map the context onto the connection: the deadline directly, and
+	// cancellation by expiring the deadline from a watcher goroutine.
+	if d, ok := ctx.Deadline(); ok {
+		c.conn.SetDeadline(d)
+	} else {
+		c.conn.SetDeadline(time.Time{})
+	}
+	if done := ctx.Done(); done != nil {
+		stop := make(chan struct{})
+		conn := c.conn
+		go func() {
+			select {
+			case <-done:
+				conn.SetDeadline(time.Unix(1, 0))
+			case <-stop:
+			}
+		}()
+		defer close(stop)
+	}
+	ctxErr := func(err error) error {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		return err
+	}
+
 	if err := c.enc.Encode(req); err != nil {
-		return serve.Response{}, err
+		c.failLocked()
+		return serve.Response{}, ctxErr(err)
 	}
 	if err := c.w.Flush(); err != nil {
-		return serve.Response{}, err
+		c.failLocked()
+		return serve.Response{}, ctxErr(err)
 	}
 	if !c.sc.Scan() {
-		if err := c.sc.Err(); err != nil {
-			return serve.Response{}, err
+		err := c.sc.Err()
+		c.failLocked()
+		if err != nil {
+			return serve.Response{}, ctxErr(err)
 		}
 		return serve.Response{}, fmt.Errorf("jfserve: connection closed")
 	}
 	var resp serve.Response
 	if err := json.Unmarshal(c.sc.Bytes(), &resp); err != nil {
+		c.failLocked()
 		return serve.Response{}, fmt.Errorf("jfserve: bad response frame: %w", err)
 	}
 	if resp.ID != req.ID {
+		c.failLocked()
 		return serve.Response{}, fmt.Errorf("jfserve: response id %q for request id %q", resp.ID, req.ID)
 	}
 	if !resp.OK {
 		if resp.Error == nil {
 			return resp, &RemoteError{Code: "missing-error", Message: "ok=false with no error object"}
 		}
-		return resp, &RemoteError{Code: resp.Error.Code, Message: resp.Error.Message}
+		err := &RemoteError{Code: resp.Error.Code, Message: resp.Error.Message}
+		if resp.Error.Code == serve.CodeFrameTooLarge || resp.Error.Code == serve.CodeInternal {
+			// The server closes the connection after these codes.
+			c.failLocked()
+		}
+		return resp, err
 	}
 	return resp, nil
 }
 
 // Route asks for one chosen path on the loaded topology.
-func (c *Client) Route(topo string, src, dst int32) (serve.RouteResult, error) {
-	resp, err := c.Do(serve.Request{Op: serve.OpRoute, Topo: topo, Src: &src, Dst: &dst})
+func (c *Client) Route(ctx context.Context, topo string, src, dst int32) (serve.RouteResult, error) {
+	resp, err := c.Do(ctx, serve.Request{Op: serve.OpRoute, Topo: topo, Src: &src, Dst: &dst})
 	if err != nil {
 		return serve.RouteResult{}, err
 	}
@@ -115,8 +362,8 @@ func (c *Client) Route(topo string, src, dst int32) (serve.RouteResult, error) {
 
 // RoutesBatch routes many pairs in one frame. Entries align with pairs;
 // per-pair failures carry an error code in Entry.Err.
-func (c *Client) RoutesBatch(topo string, pairs [][2]int32) (serve.BatchResult, error) {
-	resp, err := c.Do(serve.Request{Op: serve.OpRoutesBatch, Topo: topo, Pairs: pairs})
+func (c *Client) RoutesBatch(ctx context.Context, topo string, pairs [][2]int32) (serve.BatchResult, error) {
+	resp, err := c.Do(ctx, serve.Request{Op: serve.OpRoutesBatch, Topo: topo, Pairs: pairs})
 	if err != nil {
 		return serve.BatchResult{}, err
 	}
@@ -128,8 +375,8 @@ func (c *Client) RoutesBatch(topo string, pairs [][2]int32) (serve.BatchResult, 
 
 // Estimate returns the pair's path-set quality and isolated-flow
 // throughput estimate.
-func (c *Client) Estimate(topo string, src, dst int32) (serve.EstimateResult, error) {
-	resp, err := c.Do(serve.Request{Op: serve.OpEstimate, Topo: topo, Src: &src, Dst: &dst})
+func (c *Client) Estimate(ctx context.Context, topo string, src, dst int32) (serve.EstimateResult, error) {
+	resp, err := c.Do(ctx, serve.Request{Op: serve.OpEstimate, Topo: topo, Src: &src, Dst: &dst})
 	if err != nil {
 		return serve.EstimateResult{}, err
 	}
@@ -140,8 +387,8 @@ func (c *Client) Estimate(topo string, src, dst int32) (serve.EstimateResult, er
 }
 
 // TopoLoad loads (or confirms) a topology and returns its key.
-func (c *Client) TopoLoad(p serve.TopoParams) (serve.TopoResult, error) {
-	resp, err := c.Do(serve.Request{Op: serve.OpTopoLoad, Params: &p})
+func (c *Client) TopoLoad(ctx context.Context, p serve.TopoParams) (serve.TopoResult, error) {
+	resp, err := c.Do(ctx, serve.Request{Op: serve.OpTopoLoad, Params: &p})
 	if err != nil {
 		return serve.TopoResult{}, err
 	}
@@ -151,15 +398,16 @@ func (c *Client) TopoLoad(p serve.TopoParams) (serve.TopoResult, error) {
 	return *resp.Topo, nil
 }
 
-// TopoEvict drops a loaded topology.
-func (c *Client) TopoEvict(key string) error {
-	_, err := c.Do(serve.Request{Op: serve.OpTopoEvict, Topo: key})
+// TopoEvict drops a loaded topology. It is not idempotent and is never
+// retried.
+func (c *Client) TopoEvict(ctx context.Context, key string) error {
+	_, err := c.Do(ctx, serve.Request{Op: serve.OpTopoEvict, Topo: key})
 	return err
 }
 
 // Stats returns the server's telemetry snapshot.
-func (c *Client) Stats() (serve.StatsResult, error) {
-	resp, err := c.Do(serve.Request{Op: serve.OpStats})
+func (c *Client) Stats(ctx context.Context) (serve.StatsResult, error) {
+	resp, err := c.Do(ctx, serve.Request{Op: serve.OpStats})
 	if err != nil {
 		return serve.StatsResult{}, err
 	}
@@ -167,4 +415,17 @@ func (c *Client) Stats() (serve.StatsResult, error) {
 		return serve.StatsResult{}, fmt.Errorf("jfserve: stats response missing payload")
 	}
 	return *resp.Stats, nil
+}
+
+// Health returns the server's readiness and resilience counters. It is
+// exempt from server-side shedding, so it answers even under overload.
+func (c *Client) Health(ctx context.Context) (serve.HealthResult, error) {
+	resp, err := c.Do(ctx, serve.Request{Op: serve.OpHealth})
+	if err != nil {
+		return serve.HealthResult{}, err
+	}
+	if resp.Health == nil {
+		return serve.HealthResult{}, fmt.Errorf("jfserve: health response missing payload")
+	}
+	return *resp.Health, nil
 }

@@ -35,6 +35,24 @@ const (
 	OpTopoLoad    = "topo-load"
 	OpTopoEvict   = "topo-evict"
 	OpStats       = "stats"
+	// OpHealth reports readiness and resilience counters. It is exempt
+	// from load shedding and the handler timeout, so probes get an
+	// answer from an overloaded server — that is its whole point.
+	OpHealth = "health"
+)
+
+// Test operations, registered only when Options.EnableTestOps is set
+// (the chaos harness, internal/serve/chaos). A production daemon
+// answers unknown-op. They are deliberately absent from docs/SERVICE.md
+// beyond a footnote: not part of the public protocol.
+const (
+	// OpTestSleep holds an in-flight slot for the request's sleep_ms
+	// milliseconds, to make shedding and handler timeouts deterministic
+	// in tests.
+	OpTestSleep = "test-sleep"
+	// OpTestCrash panics inside the handler, to exercise per-request
+	// panic recovery.
+	OpTestCrash = "test-crash"
 )
 
 // Error codes (docs/SERVICE.md lists the full semantics of each).
@@ -63,6 +81,19 @@ const (
 	CodeFrameTooLarge = "frame-too-large"
 	// CodeTopoLoad: topo-load failed (bad parameters or build error).
 	CodeTopoLoad = "topo-load-failed"
+	// CodeOverloaded: the server refused the request (or, with an empty
+	// id, the whole connection) to shed load; back off and retry.
+	CodeOverloaded = "overloaded"
+	// CodeTimeout: the handler exceeded the server's per-request
+	// timeout. The connection stays open; the request may or may not
+	// have taken effect (route choices advance adaptive state), so only
+	// idempotent requests should be retried.
+	CodeTimeout = "timeout"
+	// CodeInternal: the handler panicked. The panic is recovered and
+	// counted, this error frame is the connection's last: the server
+	// closes it (the stream's consistency is no longer trusted), while
+	// all other connections keep serving.
+	CodeInternal = "internal-error"
 )
 
 // Request is the envelope of every client frame. Op-specific fields are
@@ -85,6 +116,9 @@ type Request struct {
 	Pairs [][2]int32 `json:"pairs,omitempty"`
 	// Params configures topo-load.
 	Params *TopoParams `json:"params,omitempty"`
+	// SleepMS is the test-sleep hold time in milliseconds (test ops
+	// only; ignored — like any unknown field — by production servers).
+	SleepMS int `json:"sleep_ms,omitempty"`
 }
 
 // TopoParams configures a topo-load request. Zero values select the
@@ -137,6 +171,7 @@ type Response struct {
 	Estimate *EstimateResult `json:"estimate,omitempty"`
 	Topo     *TopoResult     `json:"topo,omitempty"`
 	Stats    *StatsResult    `json:"stats,omitempty"`
+	Health   *HealthResult   `json:"health,omitempty"`
 }
 
 // ErrorInfo carries a machine-readable code and a human-readable
@@ -216,6 +251,38 @@ type TopoInfo struct {
 	K         int    `json:"k"`
 	Mechanism string `json:"mechanism"`
 	Estimator string `json:"estimator"`
+}
+
+// HealthResult answers health: readiness plus the resilience counters a
+// load balancer or operator needs to decide whether the daemon is
+// degrading (shedding, timing out) or failing (panicking). Counters are
+// cumulative since process start.
+type HealthResult struct {
+	// Ready is true while the server accepts and serves requests; false
+	// once shutdown has begun (draining).
+	Ready         bool    `json:"ready"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Topos is the number of warm (resident) topologies.
+	Topos int `json:"topos"`
+	// Conns is the number of open connections; MaxConns the configured
+	// limit (0 = unlimited).
+	Conns    int `json:"conns"`
+	MaxConns int `json:"max_conns,omitempty"`
+	// InFlight is the number of requests currently executing;
+	// MaxInFlight the configured limit (0 = unlimited).
+	InFlight    int `json:"in_flight"`
+	MaxInFlight int `json:"max_in_flight,omitempty"`
+	// Shed counts requests refused with the overloaded code; ConnShed
+	// counts connections refused at the connection limit.
+	Shed     int64 `json:"shed"`
+	ConnShed int64 `json:"conn_shed"`
+	// Panics counts recovered handler panics (each poisoned exactly one
+	// connection).
+	Panics int64 `json:"panics"`
+	// HandlerTimeouts counts requests answered with the timeout code;
+	// IOTimeouts counts connections closed on a read/write deadline.
+	HandlerTimeouts int64 `json:"handler_timeouts"`
+	IOTimeouts      int64 `json:"io_timeouts"`
 }
 
 // LatencySummary reports service-latency percentiles in microseconds

@@ -2,10 +2,12 @@ package serve
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -21,7 +23,10 @@ import (
 	"repro/internal/xrand"
 )
 
-// Options configures a Server.
+// Options configures a Server. The zero value serves without limits —
+// every limit and timeout below defaults to off, so embedders (tests,
+// benchmarks) opt in; cmd/jfserve turns them on with production
+// defaults via its flags.
 type Options struct {
 	// PathCache is the on-disk path-DB cache directory ("" = build
 	// in-process; see docs/PATHS.md). topo-load streams warm DBs from
@@ -31,6 +36,36 @@ type Options struct {
 	Workers int
 	// Logf receives one line per lifecycle event (nil = silent).
 	Logf func(format string, args ...any)
+
+	// MaxConns bounds concurrent connections (0 = unlimited). A
+	// connection over the limit receives one overloaded error frame and
+	// is closed.
+	MaxConns int
+	// MaxInFlight bounds concurrently executing requests across all
+	// connections (0 = unlimited). A request over the limit is answered
+	// overloaded immediately — explicit load shedding, never queueing —
+	// and the connection stays open. health is exempt.
+	MaxInFlight int
+	// ReadTimeout is the maximum time to receive one complete request
+	// frame, and doubles as the idle timeout (0 = none). A slow-loris
+	// sender trickling bytes never completes a frame in time and is
+	// disconnected.
+	ReadTimeout time.Duration
+	// WriteTimeout is the maximum time to write one response frame
+	// (0 = none). A client not draining responses is disconnected once
+	// the kernel buffer backs up past the deadline.
+	WriteTimeout time.Duration
+	// HandlerTimeout bounds one request's handler execution (0 = none).
+	// An overrunning request is answered with the timeout code and its
+	// handler keeps running detached (still holding its in-flight slot,
+	// so load accounting stays honest); its eventual result is dropped.
+	// Note a cold topo-load of a large topology legitimately takes
+	// minutes — enable this only with warm caches or -preload.
+	HandlerTimeout time.Duration
+	// EnableTestOps registers the test-sleep and test-crash operations
+	// used by the chaos harness (internal/serve/chaos). Never set in
+	// production; a normal daemon answers unknown-op.
+	EnableTestOps bool
 }
 
 // topoEntry is one resident topology: an immutable warm DB read
@@ -93,6 +128,13 @@ type Server struct {
 	routeLookups atomic.Int64
 	perOp        map[string]*atomic.Int64
 	latency      *telemetry.Histogram // microsecond buckets
+
+	// Resilience state: the in-flight semaphore (nil = unlimited), the
+	// instantaneous in-flight gauge, and the shed/panic/timeout
+	// counters surfaced by the health op.
+	inflight    chan struct{}
+	inflightNow atomic.Int64
+	counters    telemetry.ServiceCounters
 }
 
 // NewServer returns an idle server with no topologies loaded.
@@ -109,11 +151,26 @@ func NewServer(opts Options) *Server {
 		// land in the overflow bucket and read as "at least the cap".
 		latency: telemetry.NewHistogram(1, 1<<16),
 	}
-	for _, op := range []string{OpRoute, OpRoutesBatch, OpEstimate, OpTopoLoad, OpTopoEvict, OpStats} {
+	for _, op := range []string{OpRoute, OpRoutesBatch, OpEstimate, OpTopoLoad, OpTopoEvict, OpStats, OpHealth} {
 		s.perOp[op] = &atomic.Int64{}
+	}
+	if opts.EnableTestOps {
+		s.perOp[OpTestSleep] = &atomic.Int64{}
+		s.perOp[OpTestCrash] = &atomic.Int64{}
+	}
+	if opts.MaxInFlight > 0 {
+		s.inflight = make(chan struct{}, opts.MaxInFlight)
 	}
 	return s
 }
+
+// Counters exposes the resilience counters (shed, panics, timeouts) for
+// embedders and tests; the wire-level view is the health op.
+func (s *Server) Counters() telemetry.ServiceSnapshot { return s.counters.Snapshot() }
+
+// InFlight reports the number of requests currently executing (the
+// health op's in_flight field).
+func (s *Server) InFlight() int { return int(s.inflightNow.Load()) }
 
 func (s *Server) logf(format string, args ...any) {
 	if s.opts.Logf != nil {
@@ -144,11 +201,35 @@ func (s *Server) Serve(l net.Listener) error {
 			}
 		}
 		s.connMu.Lock()
+		if s.opts.MaxConns > 0 && len(s.conns) >= s.opts.MaxConns {
+			s.connMu.Unlock()
+			s.counters.ConnShed.Add(1)
+			// Refuse off the accept loop: the refused client may be
+			// slow to drain even one frame.
+			s.wg.Add(1)
+			go s.refuseConn(conn)
+			continue
+		}
 		s.conns[conn] = struct{}{}
 		s.connMu.Unlock()
 		s.wg.Add(1)
 		go s.handleConn(conn)
 	}
+}
+
+// refuseConn tells a connection over the limit why it is being dropped:
+// one overloaded error frame (with an empty id — no request was read),
+// then close.
+func (s *Server) refuseConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
+	buf, err := json.Marshal(errResponse("", CodeOverloaded,
+		fmt.Sprintf("connection limit %d reached; retry with backoff", s.opts.MaxConns)))
+	if err != nil {
+		return
+	}
+	conn.Write(append(buf, '\n'))
 }
 
 // Stop shuts the server down gracefully: no new connections are
@@ -163,12 +244,20 @@ func (s *Server) Stop() {
 			l.Close()
 		}
 		s.lisMu.Unlock()
-		// Unblock connections idle in Read; handlers mid-request are
-		// not reading and finish normally before their loop observes
-		// quit.
+		// Unblock connections idle in Read with an explicit half-close:
+		// CloseRead makes the pending (and every future) Read return
+		// EOF while the write side stays open, so a handler mid-request
+		// still writes its response in full before its loop observes
+		// quit. Conn types without CloseRead (not the unix/tcp
+		// listeners we create, but embedders can pass anything) fall
+		// back to an already-expired read deadline.
 		s.connMu.Lock()
 		for c := range s.conns {
-			c.SetReadDeadline(time.Now())
+			if cr, ok := c.(interface{ CloseRead() error }); ok {
+				cr.CloseRead()
+			} else {
+				c.SetReadDeadline(time.Now())
+			}
 		}
 		s.connMu.Unlock()
 	})
@@ -177,7 +266,9 @@ func (s *Server) Stop() {
 }
 
 // handleConn serves one connection: newline-delimited JSON requests,
-// answered in order.
+// answered in order under the configured read/write deadlines. A
+// request whose handler panics poisons only this connection: the error
+// frame is written, then the connection closes.
 func (s *Server) handleConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -189,6 +280,11 @@ func (s *Server) handleConn(conn net.Conn) {
 
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 64<<10), MaxFrameBytes)
+	// Unlike bufio.ScanLines, never deliver an unterminated final frame:
+	// a read error (EOF, deadline expiry) mid-frame means the frame never
+	// arrived, not that a truncated one did — parsing the fragment would
+	// answer bad-json to a peer that sent no complete request.
+	sc.Split(scanCompleteLines)
 	w := bufio.NewWriterSize(conn, 64<<10)
 	enc := json.NewEncoder(w)
 	for {
@@ -197,13 +293,23 @@ func (s *Server) handleConn(conn net.Conn) {
 			return
 		default:
 		}
+		if s.opts.ReadTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.opts.ReadTimeout))
+		}
 		if !sc.Scan() {
-			if errors.Is(sc.Err(), bufio.ErrTooLong) {
+			err := sc.Err()
+			switch {
+			case errors.Is(err, bufio.ErrTooLong):
 				// The frame boundary is lost; report and drop the
 				// connection rather than misparse the stream.
 				enc.Encode(errResponse("", CodeFrameTooLarge,
 					fmt.Sprintf("request exceeds %d bytes", MaxFrameBytes)))
 				w.Flush()
+			case isTimeout(err) && !s.stopping():
+				// The frame did not complete within ReadTimeout — an
+				// idle, stalled or slow-loris sender. Close silently:
+				// a mid-frame peer cannot re-sync on an error frame.
+				s.counters.IOTimeouts.Add(1)
 			}
 			return
 		}
@@ -211,37 +317,151 @@ func (s *Server) handleConn(conn net.Conn) {
 		if len(line) == 0 {
 			continue
 		}
-		resp := s.handleFrame(line)
+		resp, poison := s.handleFrame(line)
+		if s.opts.WriteTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
+		}
 		if err := enc.Encode(resp); err != nil {
+			if isTimeout(err) {
+				s.counters.IOTimeouts.Add(1)
+			}
 			return
 		}
 		if err := w.Flush(); err != nil {
+			if isTimeout(err) {
+				s.counters.IOTimeouts.Add(1)
+			}
+			return
+		}
+		if poison {
 			return
 		}
 	}
 }
 
-// handleFrame decodes, dispatches and times one request.
-func (s *Server) handleFrame(line []byte) Response {
-	t0 := time.Now()
-	resp := s.dispatch(line)
-	s.requests.Add(1)
-	s.latency.Observe(time.Since(t0).Microseconds())
-	return resp
+// scanCompleteLines is bufio.ScanLines minus the final-token rule: data
+// not terminated by '\n' when the reader errors out is dropped, not
+// delivered.
+func scanCompleteLines(data []byte, atEOF bool) (advance int, token []byte, err error) {
+	if i := bytes.IndexByte(data, '\n'); i >= 0 {
+		return i + 1, bytes.TrimSuffix(data[:i], []byte{'\r'}), nil
+	}
+	if atEOF {
+		return len(data), nil, nil // discard the fragment
+	}
+	return 0, nil, nil
 }
 
-func (s *Server) dispatch(line []byte) Response {
+// isTimeout reports whether err is a network deadline expiry.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// stopping reports whether Stop has begun.
+func (s *Server) stopping() bool {
+	select {
+	case <-s.quit:
+		return true
+	default:
+		return false
+	}
+}
+
+// handleFrame decodes, admits, dispatches and times one request. poison
+// reports that the connection must close after the response is written
+// (the handler panicked).
+func (s *Server) handleFrame(line []byte) (resp Response, poison bool) {
+	t0 := time.Now()
+	resp, poison = s.admit(line)
+	s.requests.Add(1)
+	s.latency.Observe(time.Since(t0).Microseconds())
+	return resp, poison
+}
+
+// admit parses the envelope and applies the resilience policy — health
+// bypass, load shedding, handler timeout, panic recovery — around the
+// op dispatch.
+func (s *Server) admit(line []byte) (Response, bool) {
 	var req Request
 	if err := json.Unmarshal(line, &req); err != nil {
-		return errResponse("", CodeBadJSON, err.Error())
+		return errResponse("", CodeBadJSON, err.Error()), false
 	}
 	if req.V != ProtocolVersion {
 		return errResponse(req.ID, CodeBadVersion,
-			fmt.Sprintf("request version %d, server speaks %d", req.V, ProtocolVersion))
+			fmt.Sprintf("request version %d, server speaks %d", req.V, ProtocolVersion)), false
 	}
 	if c, ok := s.perOp[req.Op]; ok {
 		c.Add(1)
 	}
+	// health must answer while the server is overloaded, so it is
+	// exempt from the in-flight limit and the handler timeout. It only
+	// reads atomics — cheap enough to never need shedding.
+	if req.Op == OpHealth {
+		return s.handleHealth(req), false
+	}
+	if s.inflight != nil {
+		select {
+		case s.inflight <- struct{}{}:
+		default:
+			s.counters.Shed.Add(1)
+			return errResponse(req.ID, CodeOverloaded,
+				fmt.Sprintf("in-flight limit %d reached; retry with backoff", s.opts.MaxInFlight)), false
+		}
+	}
+	if s.opts.HandlerTimeout <= 0 {
+		// No timeout: run inline, keeping the hot path goroutine-free.
+		resp, panicked := s.runOp(req)
+		return resp, panicked
+	}
+	type result struct {
+		resp     Response
+		panicked bool
+	}
+	done := make(chan result, 1)
+	go func() {
+		resp, panicked := s.runOp(req)
+		done <- result{resp, panicked}
+	}()
+	timer := time.NewTimer(s.opts.HandlerTimeout)
+	defer timer.Stop()
+	select {
+	case r := <-done:
+		return r.resp, r.panicked
+	case <-timer.C:
+		// The handler keeps running detached, holding its in-flight
+		// slot until it finishes; its result is dropped. A detached
+		// panic is still recovered and counted but can no longer poison
+		// this connection — the error frame it would ride out on was
+		// already replaced by this timeout.
+		s.counters.HandlerTimeouts.Add(1)
+		return errResponse(req.ID, CodeTimeout,
+			fmt.Sprintf("handler exceeded the %s request timeout", s.opts.HandlerTimeout)), false
+	}
+}
+
+// runOp executes one op with panic recovery, accounting it against the
+// in-flight gauge and releasing the in-flight slot (if limits are on)
+// when the handler returns. panicked=true poisons the connection.
+func (s *Server) runOp(req Request) (resp Response, panicked bool) {
+	s.inflightNow.Add(1)
+	defer func() {
+		s.inflightNow.Add(-1)
+		if s.inflight != nil {
+			<-s.inflight
+		}
+		if r := recover(); r != nil {
+			s.counters.Panics.Add(1)
+			s.logf("jfserve: recovered panic in %s handler: %v\n%s", req.Op, r, debug.Stack())
+			resp = errResponse(req.ID, CodeInternal,
+				fmt.Sprintf("handler panicked: %v; closing this connection", r))
+			panicked = true
+		}
+	}()
+	return s.dispatch(req), false
+}
+
+func (s *Server) dispatch(req Request) Response {
 	switch req.Op {
 	case OpRoute:
 		return s.handleRoute(req)
@@ -255,8 +475,43 @@ func (s *Server) dispatch(line []byte) Response {
 		return s.handleTopoEvict(req)
 	case OpStats:
 		return s.handleStats(req)
+	case OpTestSleep:
+		if s.opts.EnableTestOps {
+			time.Sleep(time.Duration(req.SleepMS) * time.Millisecond)
+			return okResponse(req.ID)
+		}
+	case OpTestCrash:
+		if s.opts.EnableTestOps {
+			panic("injected test-crash")
+		}
 	}
 	return errResponse(req.ID, CodeUnknownOp, fmt.Sprintf("unknown op %q", req.Op))
+}
+
+func (s *Server) handleHealth(req Request) Response {
+	s.connMu.Lock()
+	conns := len(s.conns)
+	s.connMu.Unlock()
+	s.mu.Lock()
+	topos := len(s.topos)
+	s.mu.Unlock()
+	c := s.counters.Snapshot()
+	resp := okResponse(req.ID)
+	resp.Health = &HealthResult{
+		Ready:           !s.stopping(),
+		UptimeSeconds:   time.Since(s.start).Seconds(),
+		Topos:           topos,
+		Conns:           conns,
+		MaxConns:        s.opts.MaxConns,
+		InFlight:        int(s.inflightNow.Load()),
+		MaxInFlight:     s.opts.MaxInFlight,
+		Shed:            c.Shed,
+		ConnShed:        c.ConnShed,
+		Panics:          c.Panics,
+		HandlerTimeouts: c.HandlerTimeouts,
+		IOTimeouts:      c.IOTimeouts,
+	}
+	return resp
 }
 
 // entry resolves the request's topology key.

@@ -2,6 +2,7 @@ package serve_test
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -15,6 +16,10 @@ import (
 	"repro/internal/serve"
 	"repro/internal/serve/client"
 )
+
+// bg is the default context for calls whose cancellation is not under
+// test (the context-behavior tests build their own).
+var bg = context.Background()
 
 // The package shares one server (loading a path DB dominates test
 // time); tests that mutate server lifecycle start their own.
@@ -55,7 +60,7 @@ func TestMain(m *testing.M) {
 
 func dial(t *testing.T) *client.Client {
 	t.Helper()
-	c, err := client.Dial("unix", testSock)
+	c, err := client.Dial(bg, "unix", testSock)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +110,7 @@ func wantCode(t *testing.T, err error, code string) {
 
 func TestRouteRoundTrip(t *testing.T) {
 	c := dial(t)
-	r, err := c.Route(testKey, 0, 1)
+	r, err := c.Route(bg, testKey, 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +125,7 @@ func TestRouteRoundTrip(t *testing.T) {
 func TestRoutesBatchRoundTrip(t *testing.T) {
 	c := dial(t)
 	pairs := [][2]int32{{0, 1}, {2, 3}, {5, 5}, {4, 9}}
-	br, err := c.RoutesBatch(testKey, pairs)
+	br, err := c.RoutesBatch(bg, testKey, pairs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +153,7 @@ func TestRoutesBatchRoundTrip(t *testing.T) {
 
 func TestEstimateRoundTrip(t *testing.T) {
 	c := dial(t)
-	est, err := c.Estimate(testKey, 0, 1)
+	est, err := c.Estimate(bg, testKey, 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,10 +173,10 @@ func TestEstimateRoundTrip(t *testing.T) {
 
 func TestStatsRoundTrip(t *testing.T) {
 	c := dial(t)
-	if _, err := c.Route(testKey, 1, 2); err != nil {
+	if _, err := c.Route(bg, testKey, 1, 2); err != nil {
 		t.Fatal(err)
 	}
-	st, err := c.Stats()
+	st, err := c.Stats(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,24 +207,24 @@ func TestTopoLoadEvict(t *testing.T) {
 	c := dial(t)
 	// Distinct seed → distinct key, so this test owns its topology.
 	p := serve.TopoParams{Topo: "small", K: 4, Seed: 7, PairSample: 20}
-	res, err := c.TopoLoad(p)
+	res, err := c.TopoLoad(bg, p)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Pairs != 20 || res.AlreadyLoaded {
 		t.Fatalf("first load = %+v, want 20 fresh pairs", res)
 	}
-	again, err := c.TopoLoad(p)
+	again, err := c.TopoLoad(bg, p)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !again.AlreadyLoaded || again.Key != res.Key {
 		t.Fatalf("reload = %+v, want already_loaded with key %s", again, res.Key)
 	}
-	if err := c.TopoEvict(res.Key); err != nil {
+	if err := c.TopoEvict(bg, res.Key); err != nil {
 		t.Fatal(err)
 	}
-	wantCode(t, c.TopoEvict(res.Key), serve.CodeUnknownTopo)
+	wantCode(t, c.TopoEvict(bg, res.Key), serve.CodeUnknownTopo)
 }
 
 func TestMalformedFrame(t *testing.T) {
@@ -265,32 +270,32 @@ func TestOversizedBatch(t *testing.T) {
 	for i := range pairs {
 		pairs[i] = [2]int32{0, 1}
 	}
-	_, err := c.RoutesBatch(testKey, pairs)
+	_, err := c.RoutesBatch(bg, testKey, pairs)
 	wantCode(t, err, serve.CodeBatchTooLarge)
 
-	_, err = c.RoutesBatch(testKey, nil)
+	_, err = c.RoutesBatch(bg, testKey, nil)
 	wantCode(t, err, serve.CodeBadRequest)
 }
 
 func TestUnloadedTopology(t *testing.T) {
 	c := dial(t)
-	_, err := c.Route("no-such-key", 0, 1)
+	_, err := c.Route(bg, "no-such-key", 0, 1)
 	wantCode(t, err, serve.CodeUnknownTopo)
-	_, err = c.RoutesBatch("no-such-key", [][2]int32{{0, 1}})
+	_, err = c.RoutesBatch(bg, "no-such-key", [][2]int32{{0, 1}})
 	wantCode(t, err, serve.CodeUnknownTopo)
-	_, err = c.Estimate("no-such-key", 0, 1)
+	_, err = c.Estimate(bg, "no-such-key", 0, 1)
 	wantCode(t, err, serve.CodeUnknownTopo)
 }
 
 func TestBadPair(t *testing.T) {
 	c := dial(t)
-	_, err := c.Route(testKey, 3, 3)
+	_, err := c.Route(bg, testKey, 3, 3)
 	wantCode(t, err, serve.CodeBadPair)
-	_, err = c.Route(testKey, 0, int32(testSw))
+	_, err = c.Route(bg, testKey, 0, int32(testSw))
 	wantCode(t, err, serve.CodeBadPair)
-	_, err = c.Route(testKey, -1, 1)
+	_, err = c.Route(bg, testKey, -1, 1)
 	wantCode(t, err, serve.CodeBadPair)
-	_, err = c.Estimate(testKey, 5, 5)
+	_, err = c.Estimate(bg, testKey, 5, 5)
 	wantCode(t, err, serve.CodeBadPair)
 }
 
@@ -321,22 +326,22 @@ func TestBadTopoParams(t *testing.T) {
 		{Topo: "small", Estimator: "nope"},
 		{Topo: "small", PairSample: -1},
 	} {
-		_, err := c.TopoLoad(p)
+		_, err := c.TopoLoad(bg, p)
 		wantCode(t, err, serve.CodeBadRequest)
 	}
 }
 
 func TestPairNotFoundOnSampledTopo(t *testing.T) {
 	c := dial(t)
-	res, err := c.TopoLoad(serve.TopoParams{Topo: "small", K: 4, Seed: 11, PairSample: 5})
+	res, err := c.TopoLoad(bg, serve.TopoParams{Topo: "small", K: 4, Seed: 11, PairSample: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer c.TopoEvict(res.Key)
+	defer c.TopoEvict(bg, res.Key)
 	notFound := 0
 	for src := int32(0); src < int32(res.Switches) && notFound == 0; src++ {
 		for dst := src + 1; dst < int32(res.Switches); dst++ {
-			_, err := c.Route(res.Key, src, dst)
+			_, err := c.Route(bg, res.Key, src, dst)
 			if err == nil {
 				continue
 			}
@@ -418,12 +423,12 @@ func TestShutdownDrain(t *testing.T) {
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(l) }()
 
-	c, err := client.Dial("unix", sock)
+	c, err := client.Dial(bg, "unix", sock)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if _, err := c.Stats(); err != nil {
+	if _, err := c.Stats(bg); err != nil {
 		t.Fatal(err)
 	}
 
@@ -433,7 +438,7 @@ func TestShutdownDrain(t *testing.T) {
 	go func() {
 		defer close(stop)
 		for {
-			st, err := c.Stats()
+			st, err := c.Stats(bg)
 			if err != nil {
 				return // the connection closed mid-stream; fine
 			}
@@ -471,7 +476,7 @@ func TestConcurrentBatches(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			c, err := client.Dial("unix", testSock)
+			c, err := client.Dial(bg, "unix", testSock)
 			if err != nil {
 				errs <- err
 				return
@@ -487,7 +492,7 @@ func TestConcurrentBatches(t *testing.T) {
 					}
 					pairs[j] = [2]int32{s, d}
 				}
-				br, err := c.RoutesBatch(testKey, pairs)
+				br, err := c.RoutesBatch(bg, testKey, pairs)
 				if err != nil {
 					errs <- err
 					return

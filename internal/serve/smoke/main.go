@@ -7,11 +7,13 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
 	"os"
 	"path/filepath"
+	"time"
 
 	"repro/internal/serve"
 	"repro/internal/serve/client"
@@ -26,6 +28,8 @@ func main() {
 }
 
 func run() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
 	dir, err := os.MkdirTemp("", "jfserve-smoke")
 	if err != nil {
 		return err
@@ -40,13 +44,20 @@ func run() error {
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(l) }()
 
-	c, err := client.Dial("unix", sock)
+	c, err := client.Dial(ctx, "unix", sock)
 	if err != nil {
 		return err
 	}
 	defer c.Close()
 
-	topo, err := c.TopoLoad(serve.TopoParams{Topo: "small", K: 4, PairSample: 200})
+	// Health must answer before any topology is warm (ready, zero topos).
+	if h, err := c.Health(ctx); err != nil {
+		return fmt.Errorf("health: %w", err)
+	} else if !h.Ready || h.Topos != 0 {
+		return fmt.Errorf("health before load: %+v, want ready with 0 topos", h)
+	}
+
+	topo, err := c.TopoLoad(ctx, serve.TopoParams{Topo: "small", K: 4, PairSample: 200})
 	if err != nil {
 		return fmt.Errorf("topo-load: %w", err)
 	}
@@ -62,17 +73,17 @@ func run() error {
 			if src == dst {
 				continue
 			}
-			r, err := c.Route(topo.Key, src, dst)
+			r, err := c.Route(ctx, topo.Key, src, dst)
 			if err == nil {
 				if r.Hops < 1 || len(r.Path) != r.Hops+1 {
 					return fmt.Errorf("route: inconsistent path %v hops %d", r.Path, r.Hops)
 				}
-				if est, err := c.Estimate(topo.Key, src, dst); err != nil {
+				if est, err := c.Estimate(ctx, topo.Key, src, dst); err != nil {
 					return fmt.Errorf("estimate: %w", err)
 				} else if est.Throughput <= 0 {
 					return fmt.Errorf("estimate: non-positive throughput %v", est.Throughput)
 				}
-				if br, err := c.RoutesBatch(topo.Key, [][2]int32{{src, dst}, {src, dst}}); err != nil {
+				if br, err := c.RoutesBatch(ctx, topo.Key, [][2]int32{{src, dst}, {src, dst}}); err != nil {
 					return fmt.Errorf("routes-batch: %w", err)
 				} else if br.Routed != 2 {
 					return fmt.Errorf("routes-batch: routed %d of 2", br.Routed)
@@ -109,14 +120,19 @@ func run() error {
 		return fmt.Errorf("raw frame: got %+v, want %s", resp, serve.CodeBadVersion)
 	}
 
-	stats, err := c.Stats()
+	stats, err := c.Stats(ctx)
 	if err != nil {
 		return fmt.Errorf("stats: %w", err)
 	}
 	if stats.Requests == 0 || stats.Latency.Count == 0 {
 		return fmt.Errorf("stats: empty after traffic: %+v", stats)
 	}
-	if err := c.TopoEvict(topo.Key); err != nil {
+	if h, err := c.Health(ctx); err != nil {
+		return fmt.Errorf("health: %w", err)
+	} else if h.Topos != 1 || h.Shed != 0 || h.Panics != 0 {
+		return fmt.Errorf("health after load: %+v, want 1 topo and clean counters", h)
+	}
+	if err := c.TopoEvict(ctx, topo.Key); err != nil {
 		return fmt.Errorf("topo-evict: %w", err)
 	}
 

@@ -1,0 +1,51 @@
+package telemetry
+
+import "sync/atomic"
+
+// ServiceCounters aggregates the resilience telemetry of a serving
+// process (jfserve, internal/serve): how often it refused work to stay
+// alive and how often it survived a failure that would otherwise have
+// taken it down. All fields are lock-free atomics, updated from
+// per-connection goroutines and read by the health endpoint; like the
+// rest of this package, recording never blocks the hot path.
+type ServiceCounters struct {
+	// Shed counts requests refused with the overloaded error code
+	// because the in-flight limit was reached.
+	Shed atomic.Int64
+	// ConnShed counts connections refused at the connection limit (the
+	// client sees one overloaded error frame, then the close).
+	ConnShed atomic.Int64
+	// Panics counts recovered handler panics. Each one poisoned exactly
+	// one connection; the process survived.
+	Panics atomic.Int64
+	// HandlerTimeouts counts requests answered with the timeout error
+	// code because the handler exceeded its deadline.
+	HandlerTimeouts atomic.Int64
+	// IOTimeouts counts connections closed because a read or write
+	// deadline expired (slow-loris senders, clients not draining
+	// responses).
+	IOTimeouts atomic.Int64
+}
+
+// ServiceSnapshot is a point-in-time copy of a ServiceCounters, in
+// plain int64s for marshaling.
+type ServiceSnapshot struct {
+	Shed            int64
+	ConnShed        int64
+	Panics          int64
+	HandlerTimeouts int64
+	IOTimeouts      int64
+}
+
+// Snapshot returns the current counter values. The fields are read
+// independently, so a snapshot taken under concurrent updates is
+// per-field consistent, not globally atomic — fine for health reporting.
+func (c *ServiceCounters) Snapshot() ServiceSnapshot {
+	return ServiceSnapshot{
+		Shed:            c.Shed.Load(),
+		ConnShed:        c.ConnShed.Load(),
+		Panics:          c.Panics.Load(),
+		HandlerTimeouts: c.HandlerTimeouts.Load(),
+		IOTimeouts:      c.IOTimeouts.Load(),
+	}
+}

@@ -1,0 +1,45 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestServiceCountersSnapshot(t *testing.T) {
+	var c ServiceCounters
+	if s := c.Snapshot(); s != (ServiceSnapshot{}) {
+		t.Fatalf("fresh counters snapshot to %+v, want zeros", s)
+	}
+	c.Shed.Add(3)
+	c.ConnShed.Add(1)
+	c.Panics.Add(2)
+	c.HandlerTimeouts.Add(4)
+	c.IOTimeouts.Add(5)
+	want := ServiceSnapshot{Shed: 3, ConnShed: 1, Panics: 2, HandlerTimeouts: 4, IOTimeouts: 5}
+	if s := c.Snapshot(); s != want {
+		t.Fatalf("snapshot = %+v, want %+v", s, want)
+	}
+}
+
+// Concurrent updates must never lose a count (this also runs under the
+// telemetry package's -race gate in make check).
+func TestServiceCountersConcurrent(t *testing.T) {
+	var c ServiceCounters
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Shed.Add(1)
+				c.Panics.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	if s.Shed != workers*per || s.Panics != workers*per {
+		t.Fatalf("lost updates: %+v", s)
+	}
+}
