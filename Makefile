@@ -9,11 +9,12 @@
 # "current" numbers against the committed BENCH_*.json baselines the way
 # benchstat compares runs — several repetitions, interleaved, on an idle
 # machine — before trusting a delta (docs/PERFORMANCE.md).
-.PHONY: check build test bench bench-routing bench-flit bench-paths bench-serve fmt lint race-faults race-paths race-serve race-chaos fuzz-paths serve-smoke chaos-smoke docs-check
+.PHONY: check build test bench bench-graph bench-routing bench-flit bench-paths bench-serve fmt lint race-graph race-faults race-paths race-serve race-chaos fuzz-paths serve-smoke chaos-smoke docs-check
 
 check: fmt lint
 	go vet ./...
 	go test -race ./internal/telemetry/... ./internal/par/...
+	$(MAKE) race-graph
 	$(MAKE) race-faults
 	$(MAKE) race-paths
 	$(MAKE) race-serve
@@ -39,6 +40,13 @@ lint:
 		govulncheck ./...; \
 	else \
 		echo "govulncheck not installed; skipping"; fi
+
+# Every layer shares one immutable packed graph across worker pools; build
+# RRG(2000,24,19) — past the old dense-link-table gate — and run a parallel
+# all-pairs BFS plus concurrent link-table readers over it under the race
+# detector. The CSR arrays must be strictly read-only once frozen.
+race-graph:
+	go test -race -run 'ParallelAllPairsBFS|FingerprintGolden' ./internal/jellyfish ./internal/graph
 
 # Fault injection touches shared simulator state from par.For workers;
 # run every fault test under the race detector as a smoke gate.
@@ -92,8 +100,17 @@ build:
 test:
 	go test ./...
 
-bench: bench-routing bench-flit bench-paths bench-serve
+bench: bench-graph bench-routing bench-flit bench-paths bench-serve
 	go test -bench=. -benchmem ./...
+
+# Graph-substrate benchmark: CSR build time vs the old map builder,
+# packed bytes/node vs the slice+dense-table representation it replaced,
+# BFS all-pairs rate (must not regress vs the slice adjacency) and
+# LinkID/LinkEndpoints throughput on RRG(720,24,19) and RRG(2000,24,19),
+# written to BENCH_graph.json (committed baseline; methodology in the
+# harness doc comment and docs/PERFORMANCE.md).
+bench-graph:
+	go run ./internal/graph/benchjson -o BENCH_graph.json
 
 # Routing-engine microbenchmarks: ns/op and allocs/op of one Choose call
 # per mechanism on k=8 candidate sets, written to BENCH_routing.json (the

@@ -23,6 +23,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/cliflags"
 	"repro/internal/exp"
@@ -49,6 +50,7 @@ func main() {
 		warmK       = flag.Int("k", 8, "paths per switch pair for -warm-paths")
 		topoSamples = flag.Int("topo-samples", 1, "RRG instances to warm for -warm-paths")
 		pathCache   = cliflags.PathCache()
+		stats       = cliflags.Stats()
 	)
 	flag.Parse()
 
@@ -57,6 +59,7 @@ func main() {
 	}
 	var topo *jellyfish.Topology
 	var err error
+	buildStart := time.Now()
 	switch {
 	case *load != "":
 		f, ferr := os.Open(*load)
@@ -72,12 +75,17 @@ func main() {
 		}
 		topo, err = jellyfish.New(params, xrand.New(*seed))
 	}
+	buildTime := time.Since(buildStart)
 	if err != nil {
 		fatal(err)
 	}
 	p := topo.Params()
 	fmt.Printf("%v: %d switches, %d compute nodes, %d links\n",
 		p, topo.N, topo.NumTerminals(), topo.G.NumEdges())
+
+	if *stats {
+		cliflags.PrintGraphStats(os.Stdout, topo.G, buildTime)
+	}
 
 	if *save != "" {
 		f, ferr := os.Create(*save)

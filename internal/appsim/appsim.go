@@ -443,7 +443,8 @@ func Run(cfg Config) (Result, error) {
 			if e.Up {
 				continue
 			}
-			for _, link := range [2]int32{g.LinkID(e.U, e.V), g.LinkID(e.V, e.U)} {
+			down := g.LinkID(e.U, e.V)
+			for _, link := range [2]int32{down, g.ReverseLink(down)} {
 				for vc := int32(0); int(vc) < numVC; vc++ {
 					q := &queues[link][vc]
 					for q.len() > 0 {

@@ -12,11 +12,13 @@ package cliflags
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"time"
 
+	"repro/internal/graph"
 	"repro/internal/routing"
 )
 
@@ -116,6 +118,30 @@ func (p *Profile) Stop() {
 			fmt.Fprintln(os.Stderr, "memprofile:", err)
 		}
 	}
+}
+
+// Stats registers the -stats flag: a one-look summary of a built
+// topology's graph substrate (node/edge counts, packed CSR byte
+// footprint, construction time), shared so any binary that builds a
+// graph can report it identically.
+func Stats() *bool {
+	return flag.Bool("stats", false,
+		"print graph substrate stats: node/edge counts, packed byte footprint, build time")
+}
+
+// PrintGraphStats writes the -stats block for a frozen graph. build is
+// the wall time spent constructing (or loading) it.
+func PrintGraphStats(w io.Writer, g *graph.Graph, build time.Duration) {
+	fmt.Fprintf(w, "graph: %d nodes, %d edges, %d directed links\n",
+		g.NumNodes(), g.NumEdges(), g.NumDirectedLinks())
+	fb := g.FootprintBytes()
+	perNode := 0.0
+	if g.NumNodes() > 0 {
+		perNode = float64(fb) / float64(g.NumNodes())
+	}
+	fmt.Fprintf(w, "packed footprint: %d bytes (%.1f B/node: CSR arena + offsets + link tables)\n",
+		fb, perNode)
+	fmt.Fprintf(w, "build time: %s\n", build.Round(time.Microsecond))
 }
 
 // PathCache registers the shared -path-cache flag: a directory for the

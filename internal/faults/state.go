@@ -176,8 +176,9 @@ func (st *State) apply(e Event) {
 		st.numDown++
 	}
 	down := !e.Up
-	st.downDir[st.g.LinkID(e.U, e.V)] = down
-	st.downDir[st.g.LinkID(e.V, e.U)] = down
+	id := st.g.LinkID(e.U, e.V)
+	st.downDir[id] = down
+	st.downDir[st.g.ReverseLink(id)] = down
 }
 
 // Active reports whether any link is currently down. When false, every

@@ -39,8 +39,9 @@ func (s *Sim) onFaultEvents(evs []faults.Event) {
 			continue
 		}
 		downAny = true
-		s.flushLink(s.g.LinkID(e.U, e.V))
-		s.flushLink(s.g.LinkID(e.V, e.U))
+		id := s.g.LinkID(e.U, e.V)
+		s.flushLink(id)
+		s.flushLink(s.g.ReverseLink(id))
 	}
 	if downAny {
 		s.sweepInflight()

@@ -124,7 +124,7 @@ func (e *SPEngine) ShortestPath(src, dst NodeID) (Path, bool) {
 		}
 		e.next = e.next[:0]
 		for _, u := range e.frontier {
-			for _, v := range e.g.adj[u] {
+			for _, v := range e.g.nbr[e.g.start[u]:e.g.start[u+1]] {
 				if e.banEpoch[v] == e.banCur {
 					continue
 				}
@@ -205,7 +205,7 @@ func (e *SPEngine) AllDistancesFrom(src NodeID, dist []int32) {
 	for level := int32(0); len(e.frontier) > 0; level++ {
 		e.next = e.next[:0]
 		for _, u := range e.frontier {
-			for _, v := range e.g.adj[u] {
+			for _, v := range e.g.nbr[e.g.start[u]:e.g.start[u+1]] {
 				if e.banEpoch[v] == e.banCur || e.seenEpoch[v] == e.epoch {
 					continue
 				}

@@ -54,7 +54,7 @@ func Dijkstra(g *Graph, src, dst NodeID, w WeightFunc, tie TieBreak, rng *xrand.
 		if u == dst {
 			break
 		}
-		for _, v := range g.adj[u] {
+		for _, v := range g.nbr[g.start[u]:g.start[u+1]] {
 			if done[v] {
 				continue
 			}

@@ -10,37 +10,58 @@
 // simulation. Algorithms that conceptually "remove" nodes or edges (Yen's
 // algorithm, the Remove-Find edge-disjoint method) express removals as ban
 // predicates on a search engine rather than by mutating the graph.
+//
+// # Representation
+//
+// The graph is stored in CSR (compressed sparse row) form: one flat
+// neighbor arena shared by all nodes, indexed by per-node start offsets.
+// The directed link index of u→v is simply that neighbor's position in the
+// arena, so every per-link array in the simulators indexes the same dense
+// id space the arena defines. Two packed side tables make link ids fully
+// navigable in O(1): owner[l] is the source node of link l (LinkEndpoints
+// needs no search) and rev[l] is the id of the opposite direction
+// (ReverseLink). There is no per-node slice header and no per-node
+// allocation: a graph is six flat arrays regardless of node count, which
+// is what lets a 10k-switch Jellyfish instance stay a few megabytes.
 package graph
 
 import (
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
-	"sort"
+	"iter"
 )
 
 // NodeID identifies a node (switch) in a graph. IDs are dense in [0, N).
 type NodeID = int32
 
-// Graph is an immutable undirected graph with nodes 0..N-1. Adjacency lists
-// are sorted ascending, which fixes the deterministic exploration order that
-// the paper's "vanilla KSP" bias analysis depends on.
+// Graph is an immutable undirected graph with nodes 0..N-1 in CSR form.
+// Adjacency lists are sorted ascending, which fixes the deterministic
+// exploration order that the paper's "vanilla KSP" bias analysis depends
+// on.
 //
 // Every directed link (u,v) — one direction of an undirected edge — has a
 // dense link index in [0, NumDirectedLinks()), used by the throughput model
-// and the simulators for O(1) per-link state arrays.
+// and the simulators for O(1) per-link state arrays. Link l runs from
+// owner[l] to nbr[l]; rev[l] is the link of the opposite direction.
 type Graph struct {
 	n     int
-	adj   [][]NodeID
-	start []int32 // start[u] is the link index of u's first outgoing link
-	m     int     // number of undirected edges
+	m     int      // number of undirected edges
+	nbr   []NodeID // neighbor arena: nbr[start[u]:start[u+1]] sorted ascending
+	start []int32  // start[u] is the link index of u's first outgoing link
+	owner []NodeID // owner[l] is the source node of directed link l
+	rev   []int32  // rev[l] is the link id of the reverse direction
 }
 
-// Builder accumulates edges and produces an immutable Graph.
+// Builder accumulates edges and produces an immutable Graph. Adjacency is
+// kept as per-node sorted slices, so freezing is a straight concatenation
+// and build memory stays within a small constant of the final graph
+// (unlike the per-node hash maps this replaced, which cost several times
+// the frozen size at Jellyfish scale).
 // The zero value is not usable; call NewBuilder.
 type Builder struct {
 	n   int
-	adj []map[NodeID]struct{}
+	adj [][]NodeID // sorted ascending, no duplicates
 }
 
 // NewBuilder returns a Builder for a graph with n nodes and no edges.
@@ -48,11 +69,22 @@ func NewBuilder(n int) *Builder {
 	if n < 0 {
 		panic("graph: negative node count")
 	}
-	adj := make([]map[NodeID]struct{}, n)
-	for i := range adj {
-		adj[i] = make(map[NodeID]struct{})
+	return &Builder{n: n, adj: make([][]NodeID, n)}
+}
+
+// searchSorted returns the position of v in the sorted list, or the
+// position it would be inserted at if absent.
+func searchSorted(lst []NodeID, v NodeID) int {
+	lo, hi := 0, len(lst)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if lst[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
 	}
-	return &Builder{n: n, adj: adj}
+	return lo
 }
 
 // AddEdge inserts the undirected edge {u, v}. Inserting an existing edge is
@@ -64,12 +96,24 @@ func (b *Builder) AddEdge(u, v NodeID) bool {
 	}
 	b.check(u)
 	b.check(v)
-	if _, ok := b.adj[u][v]; ok {
+	lst, ok := insertSorted(b.adj[u], v)
+	if !ok {
 		return false
 	}
-	b.adj[u][v] = struct{}{}
-	b.adj[v][u] = struct{}{}
+	b.adj[u] = lst
+	b.adj[v], _ = insertSorted(b.adj[v], u)
 	return true
+}
+
+func insertSorted(lst []NodeID, v NodeID) ([]NodeID, bool) {
+	i := searchSorted(lst, v)
+	if i < len(lst) && lst[i] == v {
+		return lst, false
+	}
+	lst = append(lst, 0)
+	copy(lst[i+1:], lst[i:])
+	lst[i] = v
+	return lst, true
 }
 
 // RemoveEdge deletes the undirected edge {u, v} if present and reports
@@ -77,20 +121,31 @@ func (b *Builder) AddEdge(u, v NodeID) bool {
 func (b *Builder) RemoveEdge(u, v NodeID) bool {
 	b.check(u)
 	b.check(v)
-	if _, ok := b.adj[u][v]; !ok {
+	lst, ok := deleteSorted(b.adj[u], v)
+	if !ok {
 		return false
 	}
-	delete(b.adj[u], v)
-	delete(b.adj[v], u)
+	b.adj[u] = lst
+	b.adj[v], _ = deleteSorted(b.adj[v], u)
 	return true
+}
+
+func deleteSorted(lst []NodeID, v NodeID) ([]NodeID, bool) {
+	i := searchSorted(lst, v)
+	if i >= len(lst) || lst[i] != v {
+		return lst, false
+	}
+	copy(lst[i:], lst[i+1:])
+	return lst[:len(lst)-1], true
 }
 
 // HasEdge reports whether the undirected edge {u, v} is present.
 func (b *Builder) HasEdge(u, v NodeID) bool {
 	b.check(u)
 	b.check(v)
-	_, ok := b.adj[u][v]
-	return ok
+	lst := b.adj[u]
+	i := searchSorted(lst, v)
+	return i < len(lst) && lst[i] == v
 }
 
 // Degree returns the current degree of u.
@@ -111,25 +166,40 @@ func (b *Builder) check(u NodeID) {
 // Graph freezes the builder's current edge set into an immutable Graph.
 // The builder remains usable afterwards.
 func (b *Builder) Graph() *Graph {
-	g := &Graph{
-		n:     b.n,
-		adj:   make([][]NodeID, b.n),
-		start: make([]int32, b.n+1),
-	}
 	total := 0
 	for u := range b.adj {
-		lst := make([]NodeID, 0, len(b.adj[u]))
-		for v := range b.adj[u] {
-			lst = append(lst, v)
-		}
-		sort.Slice(lst, func(i, j int) bool { return lst[i] < lst[j] })
-		g.adj[u] = lst
-		g.start[u] = int32(total)
-		total += len(lst)
+		total += len(b.adj[u])
 	}
-	g.start[b.n] = int32(total)
-	g.m = total / 2
+	g := &Graph{
+		n:     b.n,
+		m:     total / 2,
+		nbr:   make([]NodeID, total),
+		start: make([]int32, b.n+1),
+		owner: make([]NodeID, total),
+		rev:   make([]int32, total),
+	}
+	pos := int32(0)
+	for u := range b.adj {
+		g.start[u] = pos
+		copy(g.nbr[pos:], b.adj[u])
+		for i := range b.adj[u] {
+			g.owner[pos+int32(i)] = NodeID(u)
+		}
+		pos += int32(len(b.adj[u]))
+	}
+	g.start[b.n] = pos
+	g.fillReverse()
 	return g
+}
+
+// fillReverse populates rev from nbr/start/owner: the reverse of link
+// l = u→v sits at v's offset of u in the arena.
+func (g *Graph) fillReverse() {
+	for l := range g.nbr {
+		v := g.nbr[l]
+		seg := g.nbr[g.start[v]:g.start[v+1]]
+		g.rev[l] = g.start[v] + int32(searchSorted(seg, g.owner[l]))
+	}
 }
 
 // NumNodes returns the number of nodes.
@@ -150,7 +220,7 @@ func (g *Graph) Fingerprint() uint64 {
 	put(uint64(g.n))
 	put(uint64(g.m))
 	for u := 0; u < g.n; u++ {
-		for _, v := range g.adj[u] {
+		for _, v := range g.nbr[g.start[u]:g.start[u+1]] {
 			put(uint64(uint32(v)))
 		}
 		put(^uint64(0)) // per-list terminator: [0,1],[2] != [0],[1,2]
@@ -164,20 +234,43 @@ func (g *Graph) NumEdges() int { return g.m }
 // NumDirectedLinks returns the number of directed links (2 × NumEdges).
 func (g *Graph) NumDirectedLinks() int { return 2 * g.m }
 
-// Neighbors returns u's neighbor list, sorted ascending. The returned slice
-// is owned by the graph and must not be modified.
-func (g *Graph) Neighbors(u NodeID) []NodeID { return g.adj[u] }
+// Neighbors returns u's neighbor list, sorted ascending: a view into the
+// shared arena, valid for the life of the graph, that must not be
+// modified. Neighbor i of the returned slice is the target of directed
+// link LinkRange(u).lo + i.
+func (g *Graph) Neighbors(u NodeID) []NodeID {
+	return g.nbr[g.start[u]:g.start[u+1]:g.start[u+1]]
+}
+
+// LinkRange returns the half-open range [lo, hi) of u's outgoing directed
+// link ids. Iterating it visits u's neighbors in ascending order via
+// LinkTarget, with the link id in hand — the allocation-free way hot loops
+// walk the arena without chasing per-node slice headers.
+func (g *Graph) LinkRange(u NodeID) (lo, hi int32) {
+	return g.start[u], g.start[u+1]
+}
+
+// LinkTarget returns the destination node of a directed link: v for
+// l = LinkID(u, v).
+func (g *Graph) LinkTarget(l int32) NodeID { return g.nbr[l] }
+
+// LinkSource returns the source node of a directed link: u for
+// l = LinkID(u, v), via the packed owner table in O(1).
+func (g *Graph) LinkSource(l int32) NodeID { return g.owner[l] }
 
 // Degree returns the degree of u.
-func (g *Graph) Degree(u NodeID) int { return len(g.adj[u]) }
+func (g *Graph) Degree(u NodeID) int { return int(g.start[u+1] - g.start[u]) }
 
-// HasEdge reports whether {u, v} is an edge, by binary search.
+// HasEdge reports whether {u, v} is an edge, by binary search over u's
+// arena segment.
 func (g *Graph) HasEdge(u, v NodeID) bool {
 	return g.neighborIndex(u, v) >= 0
 }
 
 // LinkID returns the dense index of the directed link u→v, or -1 if {u, v}
-// is not an edge.
+// is not an edge. Cost is a binary search over u's sorted neighbors (≤ 5
+// probes at Jellyfish degrees, all within one or two cache lines of the
+// arena).
 func (g *Graph) LinkID(u, v NodeID) int32 {
 	i := g.neighborIndex(u, v)
 	if i < 0 {
@@ -187,45 +280,70 @@ func (g *Graph) LinkID(u, v NodeID) int32 {
 }
 
 // LinkEndpoints is the inverse of LinkID: it returns (u, v) for a directed
-// link index. It panics on an out-of-range index.
-func (g *Graph) LinkEndpoints(link int32) (u, v NodeID) {
-	if link < 0 || int(link) >= g.NumDirectedLinks() {
-		panic(fmt.Sprintf("graph: link %d out of range", link))
+// link index, in O(1) via the packed owner table. It panics on an
+// out-of-range index.
+func (g *Graph) LinkEndpoints(l int32) (u, v NodeID) {
+	if l < 0 || int(l) >= len(g.nbr) {
+		panic(fmt.Sprintf("graph: link %d out of range", l))
 	}
-	// Binary search the start array for the owning node.
-	u = NodeID(sort.Search(g.n, func(i int) bool { return g.start[i+1] > link }))
-	v = g.adj[u][link-g.start[u]]
-	return u, v
+	return g.owner[l], g.nbr[l]
+}
+
+// ReverseLink returns the link id of the opposite direction: LinkID(v, u)
+// for l = LinkID(u, v), in O(1). It panics on an out-of-range index.
+func (g *Graph) ReverseLink(l int32) int32 {
+	if l < 0 || int(l) >= len(g.nbr) {
+		panic(fmt.Sprintf("graph: link %d out of range", l))
+	}
+	return g.rev[l]
 }
 
 func (g *Graph) neighborIndex(u, v NodeID) int {
-	lst := g.adj[u]
-	lo, hi := 0, len(lst)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if lst[mid] < v {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	if lo < len(lst) && lst[lo] == v {
-		return lo
+	seg := g.nbr[g.start[u]:g.start[u+1]]
+	i := searchSorted(seg, v)
+	if i < len(seg) && seg[i] == v {
+		return i
 	}
 	return -1
 }
 
-// Clone returns a Builder pre-populated with g's edges, for algorithms that
-// genuinely need destructive edits (e.g. the Remove-Find disjoint-path
-// method operating on a private copy).
-func (g *Graph) Clone() *Builder {
-	b := NewBuilder(g.n)
-	for u := 0; u < g.n; u++ {
-		for _, v := range g.adj[u] {
-			if NodeID(u) < v {
-				b.AddEdge(NodeID(u), v)
+// Edges iterates every undirected edge exactly once as (u, v) pairs with
+// u < v, in ascending (u, v) order, straight off the arena.
+func (g *Graph) Edges() iter.Seq2[NodeID, NodeID] {
+	return func(yield func(NodeID, NodeID) bool) {
+		for u := 0; u < g.n; u++ {
+			for _, v := range g.nbr[g.start[u]:g.start[u+1]] {
+				if NodeID(u) < v && !yield(NodeID(u), v) {
+					return
+				}
 			}
 		}
+	}
+}
+
+// FootprintBytes returns the retained heap size of the packed
+// representation: the neighbor arena, the start offsets and the two link
+// tables. It is exact (the arrays are allocated tight) and what
+// `jftopo -stats` and the graph benchmark report.
+func (g *Graph) FootprintBytes() int64 {
+	return int64(4 * (len(g.nbr) + len(g.start) + len(g.owner) + len(g.rev)))
+}
+
+// Clone returns a Builder pre-populated with g's edges, for algorithms that
+// genuinely need destructive edits (e.g. the fault machinery building a
+// failed-edge-filtered view). The adjacency is copied directly out of the
+// CSR arena segment by segment — already sorted, no re-hashing, no
+// re-sorting — so cloning costs one pass over the arena.
+func (g *Graph) Clone() *Builder {
+	b := &Builder{n: g.n, adj: make([][]NodeID, g.n)}
+	for u := 0; u < g.n; u++ {
+		seg := g.nbr[g.start[u]:g.start[u+1]]
+		if len(seg) == 0 {
+			continue
+		}
+		lst := make([]NodeID, len(seg))
+		copy(lst, seg)
+		b.adj[u] = lst
 	}
 	return b
 }
@@ -258,7 +376,7 @@ func (g *Graph) IsConnected() bool {
 	for len(queue) > 0 {
 		u := queue[0]
 		queue = queue[1:]
-		for _, v := range g.adj[u] {
+		for _, v := range g.nbr[g.start[u]:g.start[u+1]] {
 			if !visited[v] {
 				visited[v] = true
 				seen++

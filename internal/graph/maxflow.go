@@ -39,12 +39,12 @@ func MaxEdgeDisjointPaths(g *Graph, src, dst NodeID) int {
 	bfs:
 		for qi := 0; qi < len(queue); qi++ {
 			u := queue[qi]
-			for _, v := range g.Neighbors(u) {
-				if visited[v] {
-					continue
-				}
-				id := g.LinkID(u, v)
-				if resid[id] <= 0 {
+			// Walk u's outgoing links straight off the arena: the link id is
+			// the loop index, so no per-neighbor LinkID search is needed.
+			lo, hi := g.LinkRange(u)
+			for id := lo; id < hi; id++ {
+				v := g.nbr[id]
+				if visited[v] || resid[id] <= 0 {
 					continue
 				}
 				visited[v] = true
@@ -62,10 +62,9 @@ func MaxEdgeDisjointPaths(g *Graph, src, dst NodeID) int {
 		// Augment one unit along the path: push forward, restore reverse.
 		for v := dst; v != src; {
 			id := parentLink[v]
-			u, _ := g.LinkEndpoints(id)
 			resid[id]--
-			resid[g.LinkID(v, u)]++
-			v = u
+			resid[g.rev[id]]++
+			v = g.owner[id]
 		}
 		flow++
 	}

@@ -1,0 +1,98 @@
+package jellyfish
+
+// Golden fingerprints and the shared-graph concurrency smoke for the
+// CSR-packed graph core. The fingerprint values were captured from the
+// pre-CSR slice implementation (commit 95046a2): JFPC path-cache keys and
+// jfserve topology keys embed Graph.Fingerprint, so these constants must
+// never move — a drift means every archived path cache silently misses.
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/xrand"
+)
+
+func TestFingerprintGoldenInstances(t *testing.T) {
+	cases := []struct {
+		p    Params
+		seed uint64
+		want uint64
+	}{
+		{Params{N: 36, X: 24, Y: 16}, 1, 0x598287c2a37cdb06},
+		{Params{N: 36, X: 24, Y: 16}, 7, 0x688ce37223559bf6},
+		{Params{N: 720, X: 24, Y: 19}, 1, 0x28f4c2a7a2389171},
+		{Params{N: 100, X: 12, Y: 8}, 42, 0xcf6dc4e6eb2544c6},
+		{Params{N: 250, X: 16, Y: 11}, 3, 0xcbdf40e9874c62a6},
+	}
+	for _, c := range cases {
+		topo := MustNew(c.p, xrand.New(c.seed))
+		if got := topo.G.Fingerprint(); got != c.want {
+			t.Errorf("%v seed %d: Fingerprint = 0x%016x, want 0x%016x (cache keys broken)",
+				c.p, c.seed, got, c.want)
+		}
+	}
+}
+
+// TestParallelAllPairsBFSSharedGraph builds a 10k-scale-track instance —
+// RRG(2000,24,19), past the old dense-link-table gate — and runs a
+// parallel all-pairs BFS plus concurrent link-table readers over the one
+// shared packed graph. Run under -race by `make check` (race-graph): the
+// packed arrays must be read-only after Builder.Graph freezes them.
+func TestParallelAllPairsBFSSharedGraph(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds RRG(2000,24,19); skipped in -short")
+	}
+	p := Params{N: 2000, X: 24, Y: 19}
+	topo := MustNew(p, xrand.New(1))
+	g := topo.G
+	if d, reg := g.IsRegular(); !reg || d != p.Y {
+		t.Fatalf("instance not %d-regular", p.Y)
+	}
+
+	// Concurrent link-table readers race against the BFS workers: every
+	// link resolved through the O(1) tables and back.
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := xrand.New(seed)
+			n := int32(g.NumDirectedLinks())
+			for i := 0; ; i++ {
+				if i%1024 == 0 {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+				}
+				l := int32(rng.IntN(int(n)))
+				u, v := g.LinkEndpoints(l)
+				if g.LinkID(u, v) != l {
+					panic("link round trip failed")
+				}
+				if g.ReverseLink(g.ReverseLink(l)) != l {
+					panic("reverse link not an involution")
+				}
+			}
+		}(uint64(w) + 11)
+	}
+
+	m := graph.ComputeMetrics(g, runtime.GOMAXPROCS(0))
+	close(stop)
+	wg.Wait()
+
+	if !m.Connected {
+		t.Fatal("RRG(2000,24,19) reported disconnected")
+	}
+	if m.Diameter < 2 || m.Diameter > 6 {
+		t.Fatalf("implausible diameter %d", m.Diameter)
+	}
+	if m.AvgShortestPath < 1.5 || m.AvgShortestPath > float64(m.Diameter) {
+		t.Fatalf("implausible average shortest path %.3f", m.AvgShortestPath)
+	}
+}

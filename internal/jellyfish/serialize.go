@@ -22,13 +22,9 @@ func (t *Topology) Write(w io.Writer) error {
 	if _, err := fmt.Fprintf(bw, "JELLYFISH 1\nparams %d %d %d\n", t.N, t.X, t.Y); err != nil {
 		return err
 	}
-	for u := graph.NodeID(0); int(u) < t.N; u++ {
-		for _, v := range t.G.Neighbors(u) {
-			if u < v {
-				if _, err := fmt.Fprintf(bw, "edge %d %d\n", u, v); err != nil {
-					return err
-				}
-			}
+	for u, v := range t.G.Edges() {
+		if _, err := fmt.Fprintf(bw, "edge %d %d\n", u, v); err != nil {
+			return err
 		}
 	}
 	return bw.Flush()
