@@ -9,7 +9,7 @@
 # "current" numbers against the committed BENCH_*.json baselines the way
 # benchstat compares runs — several repetitions, interleaved, on an idle
 # machine — before trusting a delta (docs/PERFORMANCE.md).
-.PHONY: check build test bench bench-graph bench-routing bench-flit bench-paths bench-serve fmt lint race-graph race-faults race-paths race-serve race-chaos fuzz-paths serve-smoke chaos-smoke docs-check
+.PHONY: check build test bench bench-graph bench-routing bench-flit bench-paths bench-serve fmt lint race-graph race-faults race-paths race-serve race-chaos race-flit-events flit-event-smoke fuzz-paths serve-smoke chaos-smoke docs-check
 
 check: fmt lint
 	go vet ./...
@@ -19,6 +19,8 @@ check: fmt lint
 	$(MAKE) race-paths
 	$(MAKE) race-serve
 	$(MAKE) race-chaos
+	$(MAKE) race-flit-events
+	$(MAKE) flit-event-smoke
 	$(MAKE) fuzz-paths
 	$(MAKE) serve-smoke
 	$(MAKE) docs-check
@@ -71,6 +73,20 @@ race-serve:
 # reconcile with the injected fault schedule.
 race-chaos:
 	go test -race -count=1 -run Chaos ./internal/serve/chaos
+
+# The event-driven advance jumps the clock over idle spans while the
+# fault schedule mutates link state; run the low-load event-driven fault
+# test under the race detector so clock jumps and fault events stay
+# correctly ordered.
+race-flit-events:
+	go test -race -count=1 -run 'EventDrivenFault|EventCycle|StepContract' ./internal/flitsim
+
+# Golden-equivalence smoke: event-driven vs cycle-stepped at the three
+# golden loads (0.05, 0.30, 0.90) must agree on saturation verdicts and
+# delivered throughput, and the exact-equivalence run (rate-1 SP, where
+# both modes consume zero injection randomness) must be bit-identical.
+flit-event-smoke:
+	go test -count=1 -run 'EventCycleEquivalence|ResultGolden' ./internal/flitsim
 
 # End-to-end daemon smoke: in-process server on a real Unix socket,
 # every protocol op through the Go client, one raw error frame, clean

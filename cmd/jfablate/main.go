@@ -16,6 +16,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/cliflags"
 	"repro/internal/exp"
 	"repro/internal/flitsim"
 	"repro/internal/jellyfish"
@@ -36,6 +37,7 @@ func main() {
 		seed           = flag.Uint64("seed", 1, "experiment seed")
 		workers        = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 		csv            = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		eventDriven    = cliflags.EventDriven()
 	)
 	flag.Parse()
 
@@ -55,6 +57,7 @@ func main() {
 		K:              *k,
 		Seed:           *seed,
 		Workers:        *workers,
+		EventDriven:    *eventDriven,
 	}
 
 	var t *stats.Table

@@ -112,12 +112,13 @@ func AblationUGALBias(params jellyfish.Params, biases []int, rates []float64, sc
 			routing.VanillaUGALBiased(bias), routing.KSPUGALBiased(bias),
 		} {
 			base := flitsim.Config{
-				Topo:      topo,
-				Paths:     db,
-				Mechanism: mech,
-				Traffic:   sampler,
-				NumVCs:    numVC,
-				Seed:      xrand.Mix64(sc.Seed ^ uint64(bi)<<16 ^ uint64(mi)),
+				Topo:        topo,
+				Paths:       db,
+				Mechanism:   mech,
+				Traffic:     sampler,
+				NumVCs:      numVC,
+				Seed:        xrand.Mix64(sc.Seed ^ uint64(bi)<<16 ^ uint64(mi)),
+				EventDriven: sc.EventDriven,
 			}
 			res.Sat[bi][mi] = saturationSeq(base, rates)
 		}

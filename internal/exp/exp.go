@@ -44,6 +44,11 @@ type Scale struct {
 	// combination pays an eager all-pairs build and writes a cache file;
 	// every later run streams the packed store back in. See docs/PATHS.md.
 	PathCache string
+	// EventDriven selects the simulator's event-driven advance
+	// (flitsim.Config.EventDriven) for every cycle-level run the
+	// experiment spawns. Statistically equivalent, not bit-identical; see
+	// docs/PERFORMANCE.md ("Event-driven advance").
+	EventDriven bool
 }
 
 // PaperModelScale is the paper's protocol for the throughput-model figures.

@@ -308,6 +308,7 @@ func FaultRun(cfg FaultRunConfig, sc Scale) (*FaultRunResult, error) {
 			Seed:          xrand.Mix64(sc.Seed ^ uint64(j.ti)<<32 ^ uint64(j.pi)<<16 ^ uint64(j.fi)),
 			Faults:        scheds[j.ti][j.pi][j.fi],
 			FaultPolicy:   cfg.Policy,
+			EventDriven:   sc.EventDriven,
 		})
 		if err != nil {
 			errs[i] = err

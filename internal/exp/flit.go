@@ -125,12 +125,13 @@ func FlitSaturation(cfg FlitConfig, sc Scale) (*SaturationResult, error) {
 			return
 		}
 		base := flitsim.Config{
-			Topo:      topo,
-			Paths:     dbs[j.ti][j.ai],
-			Mechanism: mechs[j.mi],
-			Traffic:   sampler,
-			NumVCs:    numVCs[j.ti],
-			Seed:      xrand.Mix64(sc.Seed ^ uint64(i)<<16),
+			Topo:        topo,
+			Paths:       dbs[j.ti][j.ai],
+			Mechanism:   mechs[j.mi],
+			Traffic:     sampler,
+			NumVCs:      numVCs[j.ti],
+			Seed:        xrand.Mix64(sc.Seed ^ uint64(i)<<16),
+			EventDriven: sc.EventDriven,
 		}
 		results[i] = saturationSeq(base, cfg.Rates)
 	})
@@ -228,12 +229,13 @@ func FlitLatencyCurve(cfg FlitConfig, mech routing.Mechanism, sc Scale) (*CurveR
 			return nil, err
 		}
 		base := flitsim.Config{
-			Topo:      topo,
-			Paths:     db,
-			Mechanism: mech,
-			Traffic:   sampler,
-			NumVCs:    numVC,
-			Seed:      xrand.Mix64(sc.Seed ^ uint64(ai)<<24),
+			Topo:        topo,
+			Paths:       db,
+			Mechanism:   mech,
+			Traffic:     sampler,
+			NumVCs:      numVC,
+			Seed:        xrand.Mix64(sc.Seed ^ uint64(ai)<<24),
+			EventDriven: sc.EventDriven,
 		}
 		runs := flitsim.Sweep(base, cfg.Rates, sc.Workers)
 		series := make([]float64, len(runs))

@@ -87,6 +87,7 @@ func FlitTelemetryRun(cfg FlitTelemetryConfig, sc Scale) (flitsim.Result, *telem
 		Telemetry:     col,
 		Faults:        sched,
 		FaultPolicy:   policy,
+		EventDriven:   sc.EventDriven,
 	})
 	if err != nil {
 		return zero, nil, telemetry.Manifest{}, err

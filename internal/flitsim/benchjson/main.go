@@ -1,14 +1,20 @@
 // Command benchjson measures the cycle-level simulator's raw stepping
-// throughput — cycles/sec and ns/cycle — at a low, mid and saturating
-// offered load on the paper's Table-I small topology (RRG(36,24,16), 288
+// throughput — cycles/sec and ns/cycle — across low, mid and saturating
+// offered loads on the paper's Table-I small topology (RRG(36,24,16), 288
 // terminals), and writes the results as JSON so `make bench-flit` can
 // track hot-loop cost across commits:
 //
 //	go run ./internal/flitsim/benchjson -o BENCH_flitsim.json
 //
-// The low-load point is the one that dominates latency-vs-load sweeps
-// (most of a sweep's rates sit below saturation), so it is the headline
-// number for occupancy-proportional stepping.
+// The low-load points are the ones that dominate latency-vs-load sweeps
+// (most of a sweep's rates sit below saturation), so they are the
+// headline numbers for occupancy-proportional stepping. Each load is
+// measured twice: the cycle-stepped loop ("current") and the
+// event-driven advance ("event_driven", Config.EventDriven). A final
+// section steps the paper's RRG(720,24,19) topology (3600 terminals)
+// under permutation traffic at low load in both modes — the regime the
+// event core exists for, where idle spans and the O(terminals) Bernoulli
+// scan dominate the cycle-stepped loop.
 //
 // When the output file already exists, its oldest run is preserved under
 // "baseline" so the committed file always carries a before/after pair;
@@ -44,22 +50,36 @@ type run struct {
 	Points []point `json:"points"`
 }
 
+// largeRun is the single committed cycle-accurate point on the paper's
+// medium topology, in both stepping modes.
+type largeRun struct {
+	Topology  string `json:"topology"`
+	Switches  int    `json:"switches"`
+	Terminals int    `json:"terminals"`
+	Traffic   string `json:"traffic"`
+	Cycle     point  `json:"cycle_stepped"`
+	Event     point  `json:"event_driven"`
+}
+
 type report struct {
-	Topology     string `json:"topology"`
-	Switches     int    `json:"switches"`
-	Terminals    int    `json:"terminals"`
-	Selector     string `json:"selector"`
-	Mechanism    string `json:"mechanism"`
-	K            int    `json:"k"`
-	WarmupCycles int    `json:"warmup_cycles"`
-	Baseline     *run   `json:"baseline,omitempty"`
-	Current      run    `json:"current"`
+	Topology     string    `json:"topology"`
+	Switches     int       `json:"switches"`
+	Terminals    int       `json:"terminals"`
+	Selector     string    `json:"selector"`
+	Mechanism    string    `json:"mechanism"`
+	K            int       `json:"k"`
+	WarmupCycles int       `json:"warmup_cycles"`
+	Baseline     *run      `json:"baseline,omitempty"`
+	Current      run       `json:"current"`
+	EventDriven  *run      `json:"event_driven,omitempty"`
+	Large        *largeRun `json:"large_topology,omitempty"`
 }
 
 func main() {
 	out := flag.String("o", "BENCH_flitsim.json", "output file")
-	label := flag.String("label", "sparse active-set hot loop + dense link-id table", "label for this run")
+	label := flag.String("label", "event-capable core, cycle-stepped", "label for this run")
 	rebase := flag.Bool("rebase", false, "discard the stored baseline and make this run the new one")
+	skipLarge := flag.Bool("skip-large", false, "skip the RRG(720,24,19) section (useful for quick local runs)")
 	prof := cliflags.ProfileFlags()
 	flag.Parse()
 
@@ -86,9 +106,14 @@ func main() {
 		K:            k,
 		WarmupCycles: warmup,
 		Current:      run{Label: *label},
+		EventDriven:  &run{Label: "event-driven advance (geometric injection, idle-span jumps)"},
 	}
 
-	for _, load := range []float64{0.05, 0.40, 0.95} {
+	// The two sparsest loads are the proportionality showcase: below
+	// ~1/terminals the network has genuine idle spans, and the event core's
+	// throughput detaches from the cycle count entirely (the cycle-stepped
+	// loop pays its per-cycle floor regardless).
+	for _, load := range []float64{0.0001, 0.001, 0.02, 0.05, 0.10, 0.40, 0.95} {
 		cfg := flitsim.Config{
 			Topo:          topo,
 			Paths:         pdb,
@@ -97,13 +122,23 @@ func main() {
 			InjectionRate: load,
 			Seed:          42,
 		}
-		ns := measure(cfg, warmup)
-		rep.Current.Points = append(rep.Current.Points, point{
-			Load:         load,
-			NsPerCycle:   ns,
-			CyclesPerSec: 1e9 / ns,
-		})
-		fmt.Printf("load %.2f: %10.1f ns/cycle %12.0f cycles/sec\n", load, ns, 1e9/ns)
+		for _, event := range []bool{false, true} {
+			cfg.EventDriven = event
+			ns := measure(cfg, warmup, 10_000, 5)
+			p := point{Load: load, NsPerCycle: ns, CyclesPerSec: 1e9 / ns}
+			series := &rep.Current
+			mode := "cycle"
+			if event {
+				series = rep.EventDriven
+				mode = "event"
+			}
+			series.Points = append(series.Points, p)
+			fmt.Printf("load %-6.4g %-5s: %10.1f ns/cycle %12.0f cycles/sec\n", load, mode, ns, 1e9/ns)
+		}
+	}
+
+	if !*skipLarge {
+		rep.Large = measureLarge()
 	}
 
 	// Preserve the oldest committed run as the baseline, so the file
@@ -132,21 +167,74 @@ func main() {
 	fmt.Println("wrote", *out)
 }
 
+// measureLarge produces the first committed cycle-accurate point on the
+// paper's RRG(720,24,19) medium topology: 3600 terminals under a random
+// permutation pattern at offered load 0.02, in both stepping modes. The
+// permutation pattern keeps the eager path build tractable — only the
+// ~3600 switch pairs the pattern actually uses are computed, instead of
+// all 720x719 ordered pairs.
+func measureLarge() *largeRun {
+	const load = 0.02
+	const k = 8
+	params := jellyfish.Medium
+	topo, err := jellyfish.New(params, xrand.New(7))
+	if err != nil {
+		fatal(err)
+	}
+	pattern := traffic.RandomPermutation(topo.NumTerminals(), xrand.New(99))
+	var pairs []paths.Pair
+	for _, f := range pattern.Flows {
+		s, d := topo.SwitchOf(f.Src), topo.SwitchOf(f.Dst)
+		if s != d {
+			pairs = append(pairs, paths.Pair{Src: s, Dst: d})
+		}
+	}
+	fmt.Printf("building %d path pairs on %v...\n", len(pairs), params)
+	pdb := paths.Build(topo.G, ksp.Config{Alg: ksp.REDKSP, K: k}, 0, pairs, 0)
+
+	lr := &largeRun{
+		Topology:  fmt.Sprint(params),
+		Switches:  params.N,
+		Terminals: topo.NumTerminals(),
+		Traffic:   pattern.Name,
+	}
+	for _, event := range []bool{false, true} {
+		cfg := flitsim.Config{
+			Topo:          topo,
+			Paths:         pdb,
+			Mechanism:     routing.KSPAdaptive(),
+			Traffic:       traffic.NewFixedSampler(pattern),
+			InjectionRate: load,
+			Seed:          42,
+			EventDriven:   event,
+		}
+		ns := measure(cfg, 1000, 5_000, 3)
+		p := point{Load: load, NsPerCycle: ns, CyclesPerSec: 1e9 / ns}
+		mode := "cycle"
+		if event {
+			lr.Event = p
+			mode = "event"
+		} else {
+			lr.Cycle = p
+		}
+		fmt.Printf("%v load %.2f %-5s: %10.1f ns/cycle %12.0f cycles/sec\n", params, load, mode, ns, 1e9/ns)
+	}
+	return lr
+}
+
 // measure times a fixed amount of deterministic work — a fresh simulation
 // warmed up and then stepped for a fixed cycle count — several times and
 // keeps the fastest repetition. Fixed work makes runs comparable across
 // commits (a b.N-scaled harness measures different saturation depths on
 // different machines); best-of-reps suppresses scheduler noise.
-func measure(cfg flitsim.Config, warmup int) float64 {
-	const cycles = 10_000
-	const reps = 5
+func measure(cfg flitsim.Config, warmup, cycles, reps int) float64 {
 	best := math.Inf(1)
 	for r := 0; r < reps; r++ {
 		s := flitsim.New(cfg)
 		s.Step(warmup)
 		t0 := time.Now()
 		s.Step(cycles)
-		if ns := float64(time.Since(t0).Nanoseconds()) / cycles; ns < best {
+		if ns := float64(time.Since(t0).Nanoseconds()) / float64(cycles); ns < best {
 			best = ns
 		}
 	}

@@ -106,6 +106,17 @@ type Config struct {
 	// regimes where a starving minority of flows never pushes the average
 	// latency of delivered packets over the threshold.
 	SaturationLatencyOnly bool
+
+	// EventDriven selects discrete-event advance: whenever nothing is
+	// queued anywhere, the clock jumps straight to the next event (wheel
+	// arrival, scheduled injection, fault event or run boundary) instead of
+	// visiting every idle cycle, and injection is driven by per-terminal
+	// geometric next-arrival sampling on a dedicated RNG stream. Results
+	// are statistically equivalent — and, for runs whose traffic and
+	// mechanism consume no randomness, bit-identical — to the default
+	// per-cycle Bernoulli mode, but the shared RNG stream diverges; see
+	// docs/PERFORMANCE.md ("Event-driven advance").
+	EventDriven bool
 }
 
 func (c Config) withDefaults() Config {
@@ -226,6 +237,33 @@ type Sim struct {
 	active    []uint64
 	srcActive []uint64
 
+	// Busy-state totals for the event-driven advance: packets queued in
+	// link VC queues and in source queues, maintained by qpush/qpop and
+	// srcPush/srcPop. When both are zero and the reroute queue is empty,
+	// no per-cycle phase can move anything and the clock may jump to the
+	// next event (see events.go).
+	queuedPkts int64
+	srcQueued  int64
+
+	// Fused-forward scratch (deliverArrivals): per-link arrival count for
+	// the current cycle, stamp-validated so it never needs clearing, plus
+	// the cycles skipped by event-driven sleeps and a test hook to disable
+	// fusion for differential checks.
+	arrStamp []int64
+	arrCount []int32
+	skipped  int64
+	noFuse   bool
+
+	// fwdBuf collects the cycle's network-channel forwards (fused and
+	// phase-3 alike) and flushes them to the wheel sorted by forwarding
+	// link, so the future arrival slot's order — and therefore the FIFO
+	// order of same-cycle arrivals into one (link, vc) queue — is exactly
+	// the ascending-link order the pure phase-3 scan would have produced.
+	fwdBuf []fwdEntry
+
+	eventDriven bool
+	inj         *injector // nil unless EventDriven
+
 	pkts  []packet
 	free  int32 // packet freelist head (-1 none)
 	clock int64
@@ -263,12 +301,27 @@ func (f *fifo) peek() int32 { return f.buf[f.head] }
 func (f *fifo) pop() int32 {
 	p := f.buf[f.head]
 	f.head++
+	if f.head == len(f.buf) {
+		// Drained: rewind to the front of the backing array (capacity kept).
+		// Without this a mostly-empty queue creeps toward the head>64 slide
+		// threshold and keeps growing its array long into steady state.
+		f.buf = f.buf[:0]
+		f.head = 0
+	}
 	return p
 }
 
 // wheel schedules in-flight packets by absolute arrival cycle.
 type wheel struct {
 	slots [][]arrival
+	// spare is the backing array most recently emptied by take, handed to
+	// the next taken slot so steady-state scheduling allocates nothing.
+	// The swap matters for correctness, not just allocation: a schedule at
+	// exactly now+len(slots) aliases onto the slot index take just
+	// returned, so that slot must get a backing array different from the
+	// slice the caller is still iterating.
+	spare []arrival
+	count int   // scheduled arrivals across all slots
 	now   int64 // cycle of the last take; -1 before the first
 }
 
@@ -276,6 +329,13 @@ type arrival struct {
 	pkt  int32
 	link int32
 	vc   int32
+}
+
+// fwdEntry is one network-channel forward awaiting its wheel append: the
+// packet arrives as a at clock+ChannelLatency, sent by link from.
+type fwdEntry struct {
+	from int32
+	a    arrival
 }
 
 func newWheel(horizon int) wheel {
@@ -294,14 +354,45 @@ func (w *wheel) schedule(at int64, a arrival) {
 	}
 	idx := int(at % int64(len(w.slots)))
 	w.slots[idx] = append(w.slots[idx], a)
+	w.count++
 }
 
 func (w *wheel) take(now int64) []arrival {
 	w.now = now
 	idx := int(now % int64(len(w.slots)))
 	out := w.slots[idx]
-	w.slots[idx] = nil
+	w.slots[idx] = w.spare[:0]
+	w.spare = out
+	w.count -= len(out)
 	return out
+}
+
+// nextAt returns the absolute cycle of the earliest scheduled arrival, or
+// -1 when the wheel is empty. Slot idx holds the unique cycle in
+// (now, now+len(slots)] congruent to idx, so one pass over the (horizon+1)
+// slots resolves the cursor; the clock may sit past now during an
+// event-driven sleep, which only ever lands on cycles at or before that
+// earliest arrival.
+func (w *wheel) nextAt() int64 {
+	if w.count == 0 {
+		return -1
+	}
+	n := int64(len(w.slots))
+	best := int64(-1)
+	for idx := range w.slots {
+		if len(w.slots[idx]) == 0 {
+			continue
+		}
+		d := (int64(idx) - (w.now + 1)) % n
+		if d < 0 {
+			d += n
+		}
+		c := w.now + 1 + d
+		if best < 0 || c < best {
+			best = c
+		}
+	}
+	return best
 }
 
 // Validate reports the first configuration error, applying no defaults:
@@ -388,6 +479,12 @@ func NewSim(cfg Config) (*Sim, error) {
 	s.qlen = make([]int32, nLinks)
 	s.active = make([]uint64, (nLinks+63)/64)
 	s.srcActive = make([]uint64, (s.numTerm+63)/64)
+	s.arrStamp = make([]int64, nLinks)
+	s.arrCount = make([]int32, nLinks)
+	s.eventDriven = cfg.EventDriven
+	if cfg.EventDriven {
+		s.inj = newInjector(s.numTerm, cfg.InjectionRate, cfg.Seed)
+	}
 	maxLat := cfg.ChannelLatency
 	if cfg.TerminalLatency > maxLat {
 		maxLat = cfg.TerminalLatency
@@ -517,6 +614,7 @@ func (s *Sim) qpush(link, vc, id int32) {
 	}
 	q.push(id)
 	s.qlen[link]++
+	s.queuedPkts++
 	if s.qlen[link] == 1 {
 		s.active[link>>6] |= 1 << (uint(link) & 63)
 	}
@@ -531,6 +629,7 @@ func (s *Sim) qpop(link, vc int32) int32 {
 		s.vcMask[int(link)*s.maskWords+int(vc)>>6] &^= 1 << (uint(vc) & 63)
 	}
 	s.qlen[link]--
+	s.queuedPkts--
 	if s.qlen[link] == 0 {
 		s.active[link>>6] &^= 1 << (uint(link) & 63)
 	}
@@ -545,11 +644,13 @@ func (s *Sim) srcPush(term, id int32) {
 		s.srcActive[term>>6] |= 1 << (uint(term) & 63)
 	}
 	q.push(id)
+	s.srcQueued++
 }
 
 func (s *Sim) srcPop(term int32) int32 {
 	q := &s.srcQueue[term]
 	id := q.pop()
+	s.srcQueued--
 	if q.len() == 0 {
 		s.srcActive[term>>6] &^= 1 << (uint(term) & 63)
 	}
@@ -557,7 +658,10 @@ func (s *Sim) srcPop(term int32) int32 {
 }
 
 // step advances the simulation by one cycle. measuring toggles stats
-// collection for delivered packets.
+// collection for delivered packets. The cycle's phases (faults, channel
+// arrivals, ejection, network forwarding, reroutes, injection, generation)
+// live in one method each so the cycle-stepped and event-driven drivers
+// share them verbatim.
 func (s *Sim) step(measuring bool, sampleLatSum *int64, sampleCount *int64) {
 	// 0. Apply fault events due this cycle (flushes queues on freshly
 	// failed links and sweeps the in-flight wheel).
@@ -566,12 +670,67 @@ func (s *Sim) step(measuring bool, sampleLatSum *int64, sampleCount *int64) {
 			s.onFaultEvents(evs)
 		}
 	}
+	s.deliverArrivals(measuring, sampleLatSum, sampleCount)
+	s.drainEjections(measuring, sampleLatSum, sampleCount)
+	s.forwardNetwork()
+	// 3b. Re-insert rerouted packets waiting for buffer space on their
+	// replacement paths.
+	if len(s.rerouteQ) > 0 {
+		s.processReroutes()
+	}
+	s.injectSources()
+	// 5. Generate new packets — after injection, so a packet generated
+	// this cycle enters the network no earlier than the next one.
+	if s.inj != nil {
+		s.inj.generate(s)
+	} else {
+		s.generateBernoulli()
+	}
 
-	// 1. Deliver in-flight packets into their reserved queue slots. A
-	// packet can land at the tail of a link that failed while it was in
-	// flight toward it; it is then standing at the link's sending switch
-	// and reroutes (or drops) from there.
-	for _, a := range s.inflight.take(s.clock) {
+	if s.tel != nil {
+		s.tel.SampleQueues(s.occ)
+	}
+	s.clock++
+}
+
+// deliverArrivals is phase 1: deliver in-flight packets into their
+// reserved queue slots. A packet can land at the tail of a link that
+// failed while it was in flight toward it; it is then standing at the
+// link's sending switch and reroutes (or drops) from there.
+//
+// When a link receives exactly one arrival this cycle and had nothing
+// queued, the packet is this cycle's arbitration winner by construction,
+// so its phase-2/phase-3 service is performed immediately (fuseForward) —
+// skipping the queue push, VC pick and pop entirely. Occupancy guards in
+// fuseForward keep the shortcut bit-identical to the phased execution;
+// when any guard fails the packet falls back to the normal push.
+func (s *Sim) deliverArrivals(measuring bool, sampleLatSum, sampleCount *int64) {
+	arr := s.inflight.take(s.clock)
+	if len(arr) == 0 {
+		return
+	}
+	fuse := !s.noFuse && (s.faults == nil || !s.faults.Active())
+	var pf int32
+	if fuse {
+		// pf bounds how many same-cycle queue-occupancy changes any single
+		// (link, vc) can still see: every queued packet and every arrival
+		// may move at most once per cycle. Guarding fused decisions with
+		// "occupancy + pf fits the buffer" makes them order-independent.
+		q := s.queuedPkts
+		if q > int64(s.cfg.BufDepth) {
+			q = int64(s.cfg.BufDepth) + 1 // guards all fail; avoid overflow
+		}
+		pf = int32(len(arr)) + int32(q)
+		for _, a := range arr {
+			if s.arrStamp[a.link] != s.clock+1 {
+				s.arrStamp[a.link] = s.clock + 1
+				s.arrCount[a.link] = 1
+			} else {
+				s.arrCount[a.link]++
+			}
+		}
+	}
+	for _, a := range arr {
 		if s.faults != nil && s.faults.LinkDown(a.link) {
 			p := &s.pkts[a.pkt]
 			s.occ[a.link]--
@@ -579,65 +738,130 @@ func (s *Sim) step(measuring bool, sampleLatSum *int64, sampleCount *int64) {
 			s.handleFaultPacket(a.pkt, p.path[p.hop])
 			continue
 		}
+		if fuse && s.qlen[a.link] == 0 && s.arrCount[a.link] == 1 &&
+			s.fuseForward(a, pf, measuring, sampleLatSum, sampleCount) {
+			continue
+		}
 		s.qpush(a.link, a.vc, a.pkt)
 	}
+}
 
-	// 2. Ejection links: drain one packet per cycle to the terminal sink.
-	// Only links in the active set are visited (ejection links occupy the
-	// bitmap range [numNet+numTerm, numNet+2·numTerm)); the ascending bit
-	// scan matches the old full terminal scan's drain order. Queues only
-	// shrink during this step, so a live scan cannot miss a link.
-	if s.numTerm > 0 {
-		lo, hi := s.numNet+s.numTerm, s.numNet+2*s.numTerm
-		for w := lo >> 6; w <= (hi-1)>>6; w++ {
-			m := s.active[w]
-			if base := w << 6; base < lo {
-				m &= ^uint64(0) << uint(lo-base)
-			}
-			if top := (w + 1) << 6; top > hi {
-				m &= ^uint64(0) >> uint(top-hi)
-			}
-			for ; m != 0; m &= m - 1 {
-				link := int32(w<<6 + bits.TrailingZeros64(m))
-				vc := s.pickVC(link)
-				if vc < 0 {
-					continue
-				}
-				id := s.qpop(link, vc)
-				// Latency includes the ejection channel traversal.
-				lat := s.clock - s.pkts[id].birth + int64(s.cfg.TerminalLatency)
-				h := s.pkts[id].path.Hops()
-				if h > s.maxHops {
-					s.maxHops = h
-				}
-				s.delivered++
-				if s.tel != nil {
-					s.tel.CountForward(link)
-					if measuring {
-						s.tel.ObserveLatency(lat)
-					}
-				}
-				if measuring {
-					s.deliveredMeas++
-					s.latSumMeas += lat
-					s.hopSumMeas += int64(h)
-					bucket := lat
-					if bucket >= int64(len(s.latHist)) {
-						bucket = int64(len(s.latHist)) - 1
-					}
-					s.latHist[bucket]++
-					*sampleLatSum += lat
-					*sampleCount++
-				}
-				s.freePkt(id)
-			}
+// fuseForward services a sole-arrival-on-idle-link packet in place of the
+// phase-2/phase-3 scan that would otherwise pick it this cycle. It
+// returns false — leaving all state untouched — unless the occupancy
+// guards prove the outcome identical to phased execution:
+//
+//   - the slot the packet frees must not be the one a same-cycle upstream
+//     space check hinges on (source queue far from full), and
+//   - for network links, the downstream queue must have room no matter how
+//     the cycle's other forwards are ordered (target + pf within depth).
+//
+// Within those guards the phased execution would deterministically pick
+// this packet (only nonempty VC, head of its FIFO) and forward it (space
+// check cannot fail), and no other same-cycle decision can observe the
+// difference in ordering, so state, statistics and RNG streams all match
+// bit-for-bit; the committed goldens and TestFusedForwardDifferential
+// hold the equivalence.
+func (s *Sim) fuseForward(a arrival, pf int32, measuring bool, sampleLatSum, sampleCount *int64) bool {
+	vcIdx := int(a.link)*s.numVC + int(a.vc)
+	if int(s.occVC[vcIdx])+int(pf) > s.cfg.BufDepth {
+		return false
+	}
+	if int(a.link) >= s.numNet+s.numTerm {
+		// Ejection link: phase 2 would pop exactly this packet.
+		s.occ[a.link]--
+		s.occVC[vcIdx]--
+		s.rrVC[a.link] = (a.vc + 1) % int32(s.numVC)
+		s.deliver(a.link, a.pkt, measuring, sampleLatSum, sampleCount)
+		return true
+	}
+	// Network link: phase 3 would forward exactly this packet.
+	p := &s.pkts[a.pkt]
+	nextLink, nextVC := s.nextHopOf(p)
+	if int(s.occVC[int(nextLink)*s.numVC+int(nextVC)])+int(pf) > s.cfg.BufDepth {
+		return false
+	}
+	s.occ[a.link]--
+	s.occVC[vcIdx]--
+	s.rrVC[a.link] = (a.vc + 1) % int32(s.numVC)
+	if s.tel != nil {
+		s.tel.CountForward(a.link)
+	}
+	s.occ[nextLink]++
+	s.occVC[int(nextLink)*s.numVC+int(nextVC)]++
+	p.hop++
+	s.fwdBuf = append(s.fwdBuf, fwdEntry{from: a.link,
+		a: arrival{pkt: a.pkt, link: nextLink, vc: nextVC}})
+	return true
+}
+
+// deliver ejects one packet at its terminal sink: the shared tail of
+// phase 2 and the fused ejection path. The caller has already released the
+// packet's queue slot.
+func (s *Sim) deliver(link, id int32, measuring bool, sampleLatSum, sampleCount *int64) {
+	// Latency includes the ejection channel traversal.
+	lat := s.clock - s.pkts[id].birth + int64(s.cfg.TerminalLatency)
+	h := s.pkts[id].path.Hops()
+	if h > s.maxHops {
+		s.maxHops = h
+	}
+	s.delivered++
+	if s.tel != nil {
+		s.tel.CountForward(link)
+		if measuring {
+			s.tel.ObserveLatency(lat)
 		}
 	}
+	if measuring {
+		s.deliveredMeas++
+		s.latSumMeas += lat
+		s.hopSumMeas += int64(h)
+		bucket := lat
+		if bucket >= int64(len(s.latHist)) {
+			bucket = int64(len(s.latHist)) - 1
+		}
+		s.latHist[bucket]++
+		*sampleLatSum += lat
+		*sampleCount++
+	}
+	s.freePkt(id)
+}
 
-	// 3. Network links: each sends its arbitration winner if the packet's
-	// next queue has space. Same active-set scan as step 2 over the range
-	// [0, numNet); empty links never even get looked at, which is what
-	// makes sub-saturation stepping occupancy-proportional.
+// drainEjections is phase 2: ejection links drain one packet per cycle to
+// the terminal sink. Only links in the active set are visited (ejection
+// links occupy the bitmap range [numNet+numTerm, numNet+2·numTerm)); the
+// ascending bit scan matches the old full terminal scan's drain order.
+// Queues only shrink during this step, so a live scan cannot miss a link.
+func (s *Sim) drainEjections(measuring bool, sampleLatSum, sampleCount *int64) {
+	if s.numTerm == 0 {
+		return
+	}
+	lo, hi := s.numNet+s.numTerm, s.numNet+2*s.numTerm
+	for w := lo >> 6; w <= (hi-1)>>6; w++ {
+		m := s.active[w]
+		if base := w << 6; base < lo {
+			m &= ^uint64(0) << uint(lo-base)
+		}
+		if top := (w + 1) << 6; top > hi {
+			m &= ^uint64(0) >> uint(top-hi)
+		}
+		for ; m != 0; m &= m - 1 {
+			link := int32(w<<6 + bits.TrailingZeros64(m))
+			vc := s.pickVC(link)
+			if vc < 0 {
+				continue
+			}
+			id := s.qpop(link, vc)
+			s.deliver(link, id, measuring, sampleLatSum, sampleCount)
+		}
+	}
+}
+
+// forwardNetwork is phase 3: each network link sends its arbitration
+// winner if the packet's next queue has space. Same active-set scan as
+// phase 2 over the range [0, numNet); empty links never even get looked
+// at, which is what makes sub-saturation stepping occupancy-proportional.
+func (s *Sim) forwardNetwork() {
 	for w := 0; w<<6 < s.numNet; w++ {
 		m := s.active[w]
 		if top := (w + 1) << 6; top > s.numNet {
@@ -676,24 +900,40 @@ func (s *Sim) step(measuring bool, sampleLatSum *int64, sampleCount *int64) {
 				s.occVC[int(nextLink)*s.numVC+int(nextVC)]++
 				p.hop++
 				// The packet now traverses this network channel.
-				s.inflight.schedule(s.clock+int64(s.cfg.ChannelLatency),
-					arrival{pkt: id, link: nextLink, vc: nextVC})
+				s.fwdBuf = append(s.fwdBuf, fwdEntry{from: link,
+					a: arrival{pkt: id, link: nextLink, vc: nextVC}})
 			}
 		}
 	}
+	s.flushForwards()
+}
 
-	// 3b. Re-insert rerouted packets waiting for buffer space on their
-	// replacement paths.
-	if len(s.rerouteQ) > 0 {
-		s.processReroutes()
+// flushForwards schedules the cycle's buffered network forwards onto the
+// wheel in ascending forwarding-link order. Each link forwards at most
+// once per cycle, so keys are unique; the phase-3 entries arrive
+// presorted and only the fused prefix needs moving, which the insertion
+// sort exploits.
+func (s *Sim) flushForwards() {
+	buf := s.fwdBuf
+	for i := 1; i < len(buf); i++ {
+		for j := i; j > 0 && buf[j].from < buf[j-1].from; j-- {
+			buf[j], buf[j-1] = buf[j-1], buf[j]
+		}
 	}
+	at := s.clock + int64(s.cfg.ChannelLatency)
+	for i := range buf {
+		s.inflight.schedule(at, buf[i].a)
+	}
+	s.fwdBuf = buf[:0]
+}
 
-	// 4. Injection links: move the head of each terminal's source queue
-	// into the network. The path is chosen here — at network entry — so
-	// adaptive mechanisms see current queue state. Only terminals with a
-	// nonempty source queue are visited, scanned ascending like the old
-	// full terminal loop; generation (step 5) runs after this step, so the
-	// bitmap only loses bits while we scan it.
+// injectSources is phase 4: move the head of each terminal's source queue
+// into the network. The path is chosen here — at network entry — so
+// adaptive mechanisms see current queue state. Only terminals with a
+// nonempty source queue are visited, scanned ascending like the old full
+// terminal loop; generation (phase 5) runs after this phase, so the
+// bitmap only loses bits while we scan it.
+func (s *Sim) injectSources() {
 	for w := range s.srcActive {
 		m := s.srcActive[w]
 		for ; m != 0; m &= m - 1 {
@@ -746,31 +986,37 @@ func (s *Sim) step(measuring bool, sampleLatSum *int64, sampleCount *int64) {
 				arrival{pkt: id, link: nextLink, vc: nextVC})
 		}
 	}
+}
 
-	// 5. Generate new packets. This loop deliberately stays a full scan:
-	// every terminal draws from the RNG every cycle regardless of load, so
-	// seeds reproduce the exact same traffic as before the sparse rewrite.
-	if s.cfg.InjectionRate > 0 {
-		for term := 0; term < s.numTerm; term++ {
-			if s.rng.Float64() >= s.cfg.InjectionRate {
-				continue
-			}
-			dst, ok := s.cfg.Traffic.Dest(term, s.rng)
-			if !ok {
-				continue
-			}
-			id := s.allocPkt()
-			s.pkts[id] = packet{hop: 0, dstTerm: int32(dst), birth: s.clock, next: -1,
-				links: s.pkts[id].links[:0]}
-			s.srcPush(int32(term), id)
-			s.injected++
+// generateBernoulli is phase 5 in cycle-stepped mode. This loop
+// deliberately stays a full scan: every terminal draws from the RNG every
+// cycle regardless of load, so seeds reproduce the exact same traffic as
+// before the sparse rewrite. Event-driven runs replace it with the
+// injector's geometric next-arrival schedule (events.go).
+func (s *Sim) generateBernoulli() {
+	if s.cfg.InjectionRate <= 0 {
+		return
+	}
+	for term := 0; term < s.numTerm; term++ {
+		if s.rng.Float64() >= s.cfg.InjectionRate {
+			continue
 		}
+		dst, ok := s.cfg.Traffic.Dest(term, s.rng)
+		if !ok {
+			continue
+		}
+		s.admit(int32(term), int32(dst))
 	}
+}
 
-	if s.tel != nil {
-		s.tel.SampleQueues(s.occ)
-	}
-	s.clock++
+// admit creates one freshly generated packet on the terminal's source
+// queue (shared by the Bernoulli scan and the event-driven injector).
+func (s *Sim) admit(term, dstTerm int32) {
+	id := s.allocPkt()
+	s.pkts[id] = packet{hop: 0, dstTerm: dstTerm, birth: s.clock, next: -1,
+		links: s.pkts[id].links[:0]}
+	s.srcPush(term, id)
+	s.injected++
 }
 
 // pickVC round-robins over the link's VCs and returns one with a queued

@@ -27,7 +27,7 @@ type spState struct{}
 
 func (spState) Choose(v *View, src, dst graph.NodeID, _ LoadEstimator, _ *xrand.RNG) (graph.Path, int) {
 	if src == dst {
-		return sameSwitch(src), -1
+		return v.SamePath(src), -1
 	}
 	if v.Degraded() {
 		// Degraded mode: the shortest *surviving* candidate.
@@ -60,7 +60,7 @@ type randomState struct{}
 
 func (randomState) Choose(v *View, src, dst graph.NodeID, _ LoadEstimator, rng *xrand.RNG) (graph.Path, int) {
 	if src == dst {
-		return sameSwitch(src), -1
+		return v.SamePath(src), -1
 	}
 	if v.Degraded() {
 		ps, mask := v.LiveCandidates(src, dst)
@@ -98,7 +98,7 @@ type rrState struct {
 
 func (r *rrState) Choose(v *View, src, dst graph.NodeID, _ LoadEstimator, _ *xrand.RNG) (graph.Path, int) {
 	if src == dst {
-		return sameSwitch(src), -1
+		return v.SamePath(src), -1
 	}
 	key := uint64(uint32(src))<<32 | uint64(uint32(dst))
 	if v.Degraded() {
@@ -149,7 +149,7 @@ type ugalState struct{ bias int }
 
 func (st ugalState) Choose(v *View, src, dst graph.NodeID, load LoadEstimator, rng *xrand.RNG) (graph.Path, int) {
 	if src == dst {
-		return sameSwitch(src), -1
+		return v.SamePath(src), -1
 	}
 	if v.Degraded() {
 		return st.chooseDegraded(v, src, dst, load, rng)
@@ -242,7 +242,7 @@ type kspUgalState struct{ bias int }
 
 func (st kspUgalState) Choose(v *View, src, dst graph.NodeID, load LoadEstimator, rng *xrand.RNG) (graph.Path, int) {
 	if src == dst {
-		return sameSwitch(src), -1
+		return v.SamePath(src), -1
 	}
 	if v.Degraded() {
 		// Degraded mode: minimal = best surviving, alternative = a random
@@ -295,7 +295,7 @@ type kspAdaptiveState struct{}
 
 func (kspAdaptiveState) Choose(v *View, src, dst graph.NodeID, load LoadEstimator, rng *xrand.RNG) (graph.Path, int) {
 	if src == dst {
-		return sameSwitch(src), -1
+		return v.SamePath(src), -1
 	}
 	if v.Degraded() {
 		// Degraded mode: two distinct random *survivors* compete.

@@ -29,6 +29,28 @@ type View struct {
 	// MaxHops bounds admissible path length during fault episodes (the
 	// simulators pass their VC budget); 0 means unbounded.
 	MaxHops int
+
+	// same caches the single-node path returned for src == dst traffic,
+	// one per switch, so the steady-state Choose path allocates nothing
+	// (paths handed to callers are read-only by convention). Lazily built;
+	// a View is owned by one simulator and is not shared across
+	// goroutines.
+	same []graph.Path
+}
+
+// SamePath returns the one-node path for a packet whose source and
+// destination share a switch, cached per node.
+func (v *View) SamePath(n graph.NodeID) graph.Path {
+	if v.same == nil {
+		if v.NumNodes <= 0 {
+			return graph.Path{n}
+		}
+		v.same = make([]graph.Path, v.NumNodes)
+	}
+	if v.same[n] == nil {
+		v.same[n] = graph.Path{n}
+	}
+	return v.same[n]
 }
 
 // Degraded reports whether any link is currently down. Mechanisms
