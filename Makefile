@@ -9,7 +9,7 @@
 # "current" numbers against the committed BENCH_*.json baselines the way
 # benchstat compares runs — several repetitions, interleaved, on an idle
 # machine — before trusting a delta (docs/PERFORMANCE.md).
-.PHONY: check build test bench bench-graph bench-routing bench-flit bench-paths bench-serve fmt lint race-graph race-faults race-paths race-serve race-chaos race-flit-events flit-event-smoke fuzz-paths serve-smoke chaos-smoke docs-check
+.PHONY: check build test bench bench-graph bench-routing bench-flit bench-paths bench-serve fmt lint race-graph race-faults race-paths race-serve race-serve-v2 race-chaos race-flit-events flit-event-smoke fuzz-paths fuzz-serve serve-smoke chaos-smoke docs-check
 
 check: fmt lint
 	go vet ./...
@@ -18,6 +18,7 @@ check: fmt lint
 	$(MAKE) race-faults
 	$(MAKE) race-paths
 	$(MAKE) race-serve
+	$(MAKE) race-serve-v2
 	$(MAKE) race-chaos
 	$(MAKE) race-flit-events
 	$(MAKE) flit-event-smoke
@@ -66,6 +67,14 @@ race-paths:
 race-serve:
 	go test -race -run 'Concurrent|Shutdown' ./internal/serve
 
+# The binary v2 protocol surface under the race detector: the codec and
+# negotiation tests, the JSON/binary differential suite, streaming
+# sweeps, the striped-routing-state equivalence test, and the binary
+# chaos swarm. This is the gate pinning that sharded adaptive choice
+# stays race-free and both codecs answer identically.
+race-serve-v2:
+	go test -race -count=1 -run 'Binary|Differential|Sweep|Stripe' ./internal/serve ./internal/serve/chaos
+
 # The chaos swarm — rogue clients (slow loris, mid-frame disconnects,
 # garbage floods, deadline overruns, injected panics) and retrying
 # well-behaved clients against one limited daemon — under the race
@@ -109,6 +118,14 @@ docs-check:
 fuzz-paths:
 	go test -fuzz=FuzzPathsRead -fuzztime=10s -run '^$$' ./internal/paths
 	go test -fuzz=FuzzCacheRead -fuzztime=10s -run '^$$' ./internal/paths
+
+# Short fuzz smoke of the binary v2 wire decoders on top of the
+# committed corpus under internal/serve/testdata/fuzz (seeded from the
+# golden fixtures plus truncations, oversized length prefixes and
+# version-skew bytes). Longer sessions: raise -fuzztime.
+fuzz-serve:
+	go test -fuzz=FuzzBinaryFrame -fuzztime=10s -run '^$$' ./internal/serve
+	go test -fuzz=FuzzBinaryBatch -fuzztime=10s -run '^$$' ./internal/serve
 
 build:
 	go build ./...

@@ -60,8 +60,10 @@ func main() {
 		PathCache:      *pathCache,
 		Workers:        *workers,
 		Logf:           logf,
+		Stripes:        *limits.Stripes,
 		MaxConns:       *limits.MaxConns,
 		MaxInFlight:    *limits.MaxInFlight,
+		MaxSweeps:      *limits.MaxSweeps,
 		ReadTimeout:    *limits.ReadTimeout,
 		WriteTimeout:   *limits.WriteTimeout,
 		HandlerTimeout: *limits.HandlerTimeout,
@@ -86,8 +88,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("jfserve: listening on %s:%s (protocol v%d, see docs/SERVICE.md)\n",
-		network, addr, serve.ProtocolVersion)
+	fmt.Printf("jfserve: listening on %s:%s (JSON protocol v%d, binary v%d, see docs/SERVICE.md)\n",
+		network, addr, serve.ProtocolVersion, serve.BinaryVersion)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

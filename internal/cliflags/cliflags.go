@@ -185,20 +185,27 @@ func Listen(def string) *string {
 type ServeLimits struct {
 	MaxConns       *int
 	MaxInFlight    *int
+	MaxSweeps      *int
+	Stripes        *int
 	ReadTimeout    *time.Duration
 	WriteTimeout   *time.Duration
 	HandlerTimeout *time.Duration
 }
 
-// ServeLimitFlags registers -max-conns, -max-inflight, -read-timeout,
-// -write-timeout and -handler-timeout. Zero disables the corresponding
-// limit.
+// ServeLimitFlags registers -max-conns, -max-inflight, -max-sweeps,
+// -stripes, -read-timeout, -write-timeout and -handler-timeout. Zero
+// disables the corresponding limit (for -stripes, zero means one stripe
+// per GOMAXPROCS).
 func ServeLimitFlags() ServeLimits {
 	return ServeLimits{
 		MaxConns: flag.Int("max-conns", 1024,
 			"maximum concurrent connections; extras get one overloaded frame and are closed (0 = unlimited)"),
 		MaxInFlight: flag.Int("max-inflight", 256,
 			"maximum concurrently executing requests; extras are answered overloaded (0 = unlimited)"),
+		MaxSweeps: flag.Int("max-sweeps", 16,
+			"maximum concurrently streaming sweeps; extras are answered overloaded (0 = unlimited)"),
+		Stripes: flag.Int("stripes", 0,
+			"routing-state stripes per topology for parallel adaptive choice (0 = GOMAXPROCS)"),
 		ReadTimeout: flag.Duration("read-timeout", 5*time.Minute,
 			"per-request frame read deadline, doubling as the idle timeout (0 = none)"),
 		WriteTimeout: flag.Duration("write-timeout", time.Minute,

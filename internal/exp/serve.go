@@ -48,6 +48,13 @@ type ServeBenchConfig struct {
 	SingleOps int
 	// Workers bounds the server-side build (0 = GOMAXPROCS).
 	Workers int
+	// SweepPairs is the generated-pair count for the streaming sweep
+	// phase (default 100000; must stay within serve.MaxSweepPairs).
+	SweepPairs int
+	// MultiCoreProcs is the GOMAXPROCS setting for the multi-core
+	// series: a fresh server with one routing stripe per proc, driven
+	// by that many clients (default 4; negative skips the series).
+	MultiCoreProcs int
 
 	// OverloadInFlight is the second server's in-flight request limit
 	// (default 1 — every concurrent request past the first sheds).
@@ -103,13 +110,52 @@ type ServeBenchResult struct {
 	Seconds       float64 `json:"batched_seconds"`
 	LookupsPerSec float64 `json:"batched_lookups_per_sec"`
 
+	// The binary series repeats the batched phase over protocol v2
+	// connections routing the identical pair streams, so the two rates
+	// compare codec against codec on the same traffic. BinarySpeedup is
+	// BinaryLookupsPerSec / LookupsPerSec.
+	BinaryLookups       int64   `json:"binary_batched_lookups"`
+	BinarySeconds       float64 `json:"binary_batched_seconds"`
+	BinaryLookupsPerSec float64 `json:"binary_batched_lookups_per_sec"`
+	BinarySpeedup       float64 `json:"binary_speedup_vs_json"`
+
 	SingleOps     int64   `json:"single_ops"`
 	SingleSeconds float64 `json:"single_seconds"`
 	SinglesPerSec float64 `json:"single_ops_per_sec"`
 
+	// The sweep series streams one server-generated sweep over a binary
+	// connection: pairs/sec with the server driving pair generation and
+	// chunked result framing instead of per-batch round trips.
+	SweepPairs       int64   `json:"sweep_pairs"`
+	SweepChunks      int     `json:"sweep_chunks"`
+	SweepSeconds     float64 `json:"sweep_seconds"`
+	SweepPairsPerSec float64 `json:"sweep_pairs_per_sec"`
+
 	ServerLatency serve.LatencySummary `json:"server_latency"`
 
+	MultiCore *MultiCoreResult `json:"multi_core,omitempty"`
+
 	Overload *OverloadResult `json:"overload,omitempty"`
+}
+
+// MultiCoreResult reports the GOMAXPROCS≥4 series: a fresh server with
+// one routing stripe per proc, driven by one client per proc over both
+// codecs. NumCPU records the hardware threads actually present — on a
+// single-CPU box the series measures stripe overhead under forced
+// scheduling, not true parallel speedup, and readers need to know which.
+type MultiCoreResult struct {
+	GOMAXPROCS int `json:"gomaxprocs"`
+	NumCPU     int `json:"num_cpu"`
+	Stripes    int `json:"stripes"`
+	Clients    int `json:"clients"`
+
+	Lookups       int64   `json:"batched_lookups"`
+	Seconds       float64 `json:"batched_seconds"`
+	LookupsPerSec float64 `json:"batched_lookups_per_sec"`
+
+	BinaryLookups       int64   `json:"binary_batched_lookups"`
+	BinarySeconds       float64 `json:"binary_batched_seconds"`
+	BinaryLookupsPerSec float64 `json:"binary_batched_lookups_per_sec"`
 }
 
 func (c ServeBenchConfig) withDefaults() ServeBenchConfig {
@@ -134,6 +180,12 @@ func (c ServeBenchConfig) withDefaults() ServeBenchConfig {
 	if c.SingleOps == 0 {
 		c.SingleOps = 2000
 	}
+	if c.SweepPairs == 0 {
+		c.SweepPairs = 100000
+	}
+	if c.MultiCoreProcs == 0 {
+		c.MultiCoreProcs = 4
+	}
 	if c.OverloadInFlight == 0 {
 		c.OverloadInFlight = 1
 	}
@@ -150,16 +202,23 @@ func (c ServeBenchConfig) withDefaults() ServeBenchConfig {
 }
 
 // ServeBench starts a jfserve server on a temp Unix socket, loads the
-// configured topology, and drives it with concurrent batched and
-// single route lookups, reporting sustained lookups/sec, then measures
-// the shed rate and latency of an under-provisioned server under
-// overload (the BENCH_serve.json quantities; run via `make bench-serve`).
+// configured topology, and drives it with concurrent batched lookups
+// over both codecs (JSON v1 then binary v2 on identical pair streams),
+// single route round trips, and one server-driven streaming sweep,
+// then repeats the batched series against a striped GOMAXPROCS≥4
+// server and finally measures the shed rate and latency of an
+// under-provisioned server under overload (the BENCH_serve.json
+// quantities; run via `make bench-serve`).
 func ServeBench(cfg ServeBenchConfig) (*ServeBenchResult, error) {
 	cfg = cfg.withDefaults()
 	ctx := context.Background()
 	if cfg.BatchSize > serve.MaxBatchPairs || cfg.OverloadBatchPairs > serve.MaxBatchPairs {
 		return nil, fmt.Errorf("exp: batch size %d exceeds the protocol's %d-pair limit",
 			max(cfg.BatchSize, cfg.OverloadBatchPairs), serve.MaxBatchPairs)
+	}
+	if cfg.SweepPairs > serve.MaxSweepPairs {
+		return nil, fmt.Errorf("exp: sweep size %d exceeds the protocol's %d-pair limit",
+			cfg.SweepPairs, serve.MaxSweepPairs)
 	}
 	dir, err := os.MkdirTemp("", "jfserve-bench")
 	if err != nil {
@@ -200,7 +259,26 @@ func ServeBench(cfg ServeBenchConfig) (*ServeBenchResult, error) {
 		LoadSeconds: topo.LoadSeconds,
 	}
 
-	// Phase 1: batched lookups, every client its own seeded pair stream.
+	// Phase 1: batched lookups over JSON, every client its own seeded
+	// pair stream.
+	res.Lookups, res.Seconds, err = batchedPhase(ctx, sock, cfg, topo.Key, topo.Switches, cfg.Clients, false)
+	if err != nil {
+		return nil, err
+	}
+	res.LookupsPerSec = float64(res.Lookups) / res.Seconds
+
+	// Phase 1b: the same batched traffic over binary protocol v2 — the
+	// identical pair streams, so the delta is pure codec + fast path.
+	res.BinaryLookups, res.BinarySeconds, err = batchedPhase(ctx, sock, cfg, topo.Key, topo.Switches, cfg.Clients, true)
+	if err != nil {
+		return nil, err
+	}
+	res.BinaryLookupsPerSec = float64(res.BinaryLookups) / res.BinarySeconds
+	if res.LookupsPerSec > 0 {
+		res.BinarySpeedup = res.BinaryLookupsPerSec / res.LookupsPerSec
+	}
+
+	// Phase 2: single-route round trips (per-request latency shape).
 	clients := make([]*client.Client, cfg.Clients)
 	for i := range clients {
 		if clients[i], err = client.Dial(ctx, "unix", sock); err != nil {
@@ -209,47 +287,8 @@ func ServeBench(cfg ServeBenchConfig) (*ServeBenchResult, error) {
 		defer clients[i].Close()
 	}
 	errs := make(chan error, cfg.Clients)
-	var routed int64
-	var routedMu sync.Mutex
-	start := time.Now()
 	var wg sync.WaitGroup
-	for i, cl := range clients {
-		wg.Add(1)
-		go func(i int, cl *client.Client) {
-			defer wg.Done()
-			rng := xrand.NewPair(cfg.Seed^0x73657276, uint64(i)) // "serv"
-			pairs := make([][2]int32, cfg.BatchSize)
-			var mine int64
-			for b := 0; b < cfg.Batches; b++ {
-				for j := range pairs {
-					s := rng.IntN(topo.Switches)
-					d := rng.IntNExcept(topo.Switches, s)
-					pairs[j] = [2]int32{int32(s), int32(d)}
-				}
-				br, err := cl.RoutesBatch(ctx, topo.Key, pairs)
-				if err != nil {
-					errs <- err
-					return
-				}
-				mine += int64(br.Routed)
-			}
-			routedMu.Lock()
-			routed += mine
-			routedMu.Unlock()
-		}(i, cl)
-	}
-	wg.Wait()
-	res.Seconds = time.Since(start).Seconds()
-	select {
-	case err := <-errs:
-		return nil, err
-	default:
-	}
-	res.Lookups = routed
-	res.LookupsPerSec = float64(routed) / res.Seconds
-
-	// Phase 2: single-route round trips (per-request latency shape).
-	start = time.Now()
+	start := time.Now()
 	for i, cl := range clients {
 		wg.Add(1)
 		go func(i int, cl *client.Client) {
@@ -275,17 +314,164 @@ func ServeBench(cfg ServeBenchConfig) (*ServeBenchResult, error) {
 	res.SingleOps = int64(cfg.Clients) * int64(cfg.SingleOps)
 	res.SinglesPerSec = float64(res.SingleOps) / res.SingleSeconds
 
+	// Phase 3: one streaming sweep over a binary connection. The client
+	// only acknowledges chunks; the server generates pairs, routes them
+	// and frames results, so this is the server-driven bulk ceiling.
+	sw, err := client.DialBinary(ctx, "unix", sock)
+	if err != nil {
+		return nil, err
+	}
+	defer sw.Close()
+	start = time.Now()
+	_, done, err := sw.Sweep(ctx, topo.Key, serve.SweepParams{
+		Count: cfg.SweepPairs, Seed: cfg.Seed ^ 0x73777065, // "swpe"
+	}, func(serve.SweepChunk) error { return nil })
+	if err != nil {
+		return nil, err
+	}
+	res.SweepSeconds = time.Since(start).Seconds()
+	res.SweepPairs = done.Routed + done.Failed
+	res.SweepChunks = done.Chunks
+	res.SweepPairsPerSec = float64(res.SweepPairs) / res.SweepSeconds
+
 	stats, err := ctl.Stats(ctx)
 	if err != nil {
 		return nil, err
 	}
 	res.ServerLatency = stats.Latency
 
+	if cfg.MultiCoreProcs > 0 {
+		mc, err := serveMultiCoreBench(ctx, dir, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.MultiCore = mc
+	}
+
 	over, err := serveOverloadBench(ctx, dir, cfg)
 	if err != nil {
 		return nil, err
 	}
 	res.Overload = over
+	return res, nil
+}
+
+// batchedPhase drives nclients concurrent connections, each issuing
+// cfg.Batches routes-batch frames of cfg.BatchSize seeded random pairs,
+// and reports total routed lookups and wall seconds. The pair streams
+// depend only on (cfg.Seed, client index), never on the codec, so the
+// JSON and binary series route identical traffic and their rates
+// compare like for like.
+func batchedPhase(ctx context.Context, sock string, cfg ServeBenchConfig, topoKey string, switches, nclients int, binary bool) (lookups int64, seconds float64, err error) {
+	dial := client.Dial
+	if binary {
+		dial = client.DialBinary
+	}
+	clients := make([]*client.Client, nclients)
+	defer func() {
+		for _, cl := range clients {
+			if cl != nil {
+				cl.Close()
+			}
+		}
+	}()
+	for i := range clients {
+		if clients[i], err = dial(ctx, "unix", sock); err != nil {
+			return 0, 0, err
+		}
+	}
+	errs := make(chan error, nclients)
+	var mu sync.Mutex
+	var routed int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i, cl := range clients {
+		wg.Add(1)
+		go func(i int, cl *client.Client) {
+			defer wg.Done()
+			rng := xrand.NewPair(cfg.Seed^0x73657276, uint64(i)) // "serv"
+			pairs := make([][2]int32, cfg.BatchSize)
+			var mine int64
+			for b := 0; b < cfg.Batches; b++ {
+				for j := range pairs {
+					s := rng.IntN(switches)
+					d := rng.IntNExcept(switches, s)
+					pairs[j] = [2]int32{int32(s), int32(d)}
+				}
+				br, err := cl.RoutesBatch(ctx, topoKey, pairs)
+				if err != nil {
+					errs <- err
+					return
+				}
+				mine += int64(br.Routed)
+			}
+			mu.Lock()
+			routed += mine
+			mu.Unlock()
+		}(i, cl)
+	}
+	wg.Wait()
+	seconds = time.Since(start).Seconds()
+	select {
+	case err := <-errs:
+		return 0, 0, err
+	default:
+	}
+	return routed, seconds, nil
+}
+
+// serveMultiCoreBench runs the GOMAXPROCS≥4 series: it raises
+// GOMAXPROCS for the duration (restored on return), starts a fresh
+// server with one routing stripe per proc, and repeats both batched
+// series with one client per proc, so the adaptive choice path
+// genuinely runs striped rather than serialized on one state mutex.
+func serveMultiCoreBench(ctx context.Context, dir string, cfg ServeBenchConfig) (*MultiCoreResult, error) {
+	procs := cfg.MultiCoreProcs
+	prev := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(prev)
+
+	sock := filepath.Join(dir, "jfserve-mc.sock")
+	l, err := net.Listen("unix", sock)
+	if err != nil {
+		return nil, err
+	}
+	srv := serve.NewServer(serve.Options{Workers: cfg.Workers, Stripes: procs})
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(l) }()
+	defer func() {
+		srv.Stop()
+		<-serveDone
+	}()
+
+	ctl, err := client.Dial(ctx, "unix", sock)
+	if err != nil {
+		return nil, err
+	}
+	defer ctl.Close()
+	topo, err := ctl.TopoLoad(ctx, serve.TopoParams{
+		Topo: cfg.Topo, K: cfg.K, Seed: cfg.Seed,
+		Mechanism: cfg.Mechanism, Estimator: cfg.Estimator,
+		PairSample: cfg.PairSample,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	nclients := max(cfg.Clients, procs)
+	res := &MultiCoreResult{
+		GOMAXPROCS: procs, NumCPU: runtime.NumCPU(),
+		Stripes: procs, Clients: nclients,
+	}
+	res.Lookups, res.Seconds, err = batchedPhase(ctx, sock, cfg, topo.Key, topo.Switches, nclients, false)
+	if err != nil {
+		return nil, err
+	}
+	res.LookupsPerSec = float64(res.Lookups) / res.Seconds
+	res.BinaryLookups, res.BinarySeconds, err = batchedPhase(ctx, sock, cfg, topo.Key, topo.Switches, nclients, true)
+	if err != nil {
+		return nil, err
+	}
+	res.BinaryLookupsPerSec = float64(res.BinaryLookups) / res.BinarySeconds
 	return res, nil
 }
 

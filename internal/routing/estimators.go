@@ -90,6 +90,28 @@ func (e *LinkLoadEstimator) Observe(p graph.Path) {
 	}
 }
 
+// ObserveLink records one chosen traversal of the directed link u→v,
+// for owners that shard estimator state by link source (jfserve's
+// stripes): PathCost prices a path by its first link — a link out of
+// the path's source — so a sharding owner must land each link's
+// increment on the estimator whose PathCost calls read that link.
+// Decay runs on the Observe schedule with each link counting as one
+// observation.
+func (e *LinkLoadEstimator) ObserveLink(u, v graph.NodeID) {
+	e.counts[dirLinkKey(u, v)]++
+	e.obs++
+	if e.obs >= e.decayEvery {
+		e.obs = 0
+		for k, n := range e.counts {
+			if n <= 1 {
+				delete(e.counts, k)
+			} else {
+				e.counts[k] = n / 2
+			}
+		}
+	}
+}
+
 // EstimatorByName resolves a standalone estimator name ("zero", "hops"
 // or "link-load"). Each call returns a fresh instance, so callers own
 // their estimator's state.

@@ -53,6 +53,26 @@ func (v *View) SamePath(n graph.NodeID) graph.Path {
 	return v.same[n]
 }
 
+// Prewarm eagerly builds the same-switch path cache. A fresh View fills
+// that cache lazily on first use, which is fine for its usual
+// single-goroutine owner but is a data race when one View is shared by
+// concurrent readers (the serving daemon's routing-state stripes). After
+// Prewarm, SamePath and Candidates only ever read. A View with NumNodes
+// unset cannot be prewarmed and stays lazy (and single-owner).
+func (v *View) Prewarm() {
+	if v.NumNodes <= 0 {
+		return
+	}
+	if v.same == nil {
+		v.same = make([]graph.Path, v.NumNodes)
+	}
+	for i := range v.same {
+		if v.same[i] == nil {
+			v.same[i] = graph.Path{graph.NodeID(i)}
+		}
+	}
+}
+
 // Degraded reports whether any link is currently down. Mechanisms
 // branch on it: the false branch is the exact pre-fault code, so a run
 // with an empty (or not-yet-fired, or fully recovered) schedule

@@ -27,3 +27,14 @@ func TopoRNG(seed uint64, i int) *xrand.RNG {
 func PathSeed(seed uint64, i int, alg ksp.Algorithm) uint64 {
 	return xrand.Mix64(seed ^ uint64(i)<<8 ^ uint64(alg))
 }
+
+// StripeRNG derives the RNG stream of one routing-state stripe inside
+// the serving daemon (internal/serve). The daemon shards each resident
+// topology's adaptive routing state across stripes; pathSeed and the
+// graph fingerprint tie every stream to the exact path DB being served,
+// while the stripe index separates the per-stripe streams. Pinned by
+// TestStripeRNGStability: changing this derivation silently changes
+// every striped daemon's choice sequence.
+func StripeRNG(pathSeed, fingerprint uint64, stripe int) *xrand.RNG {
+	return xrand.NewPair(pathSeed^xrand.Mix64(fingerprint), uint64(stripe))
+}

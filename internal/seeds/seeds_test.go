@@ -1,0 +1,42 @@
+package seeds
+
+import "testing"
+
+// TestStripeRNGStability pins the stripe seed derivation with golden
+// first draws. The serving daemon's striped routing state consumes
+// these streams; a change here silently changes every striped daemon's
+// adaptive choice sequence, so a change here must be deliberate and
+// must note the break in docs/SERVICE.md.
+func TestStripeRNGStability(t *testing.T) {
+	cases := []struct {
+		pathSeed, fingerprint uint64
+		stripe                int
+		first, second         uint64
+	}{
+		{1, 0xdeadbeef, 0, 0x845bd284f0bd6b43, 0xb5149a16416bc50e},
+		{1, 0xdeadbeef, 1, 0xd27078590a50987d, 0x6480fe6d19e2ee95},
+		{1, 0xdeadbeef, 7, 0xdbfa7d92435263e1, 0xdce392ead1d07d8c},
+		{42, 0x63, 0, 0x0decd7b0af9d5fec, 0xc697ec7de11712bc},
+		{42, 0x63, 3, 0xc21ed03b172c01b3, 0xe4b71a1f74489eb7},
+	}
+	for _, c := range cases {
+		r := StripeRNG(c.pathSeed, c.fingerprint, c.stripe)
+		if got := r.Uint64(); got != c.first {
+			t.Errorf("StripeRNG(%d, %#x, %d) first draw %#016x, want %#016x",
+				c.pathSeed, c.fingerprint, c.stripe, got, c.first)
+		}
+		if got := r.Uint64(); got != c.second {
+			t.Errorf("StripeRNG(%d, %#x, %d) second draw %#016x, want %#016x",
+				c.pathSeed, c.fingerprint, c.stripe, got, c.second)
+		}
+	}
+
+	// Distinct stripes of one topology must get distinct streams, and
+	// the same stripe of topologies differing only in fingerprint too.
+	if StripeRNG(1, 2, 0).Uint64() == StripeRNG(1, 2, 1).Uint64() {
+		t.Error("stripes 0 and 1 share a stream")
+	}
+	if StripeRNG(1, 2, 0).Uint64() == StripeRNG(1, 3, 0).Uint64() {
+		t.Error("fingerprints 2 and 3 share a stream")
+	}
+}

@@ -36,6 +36,8 @@ func main() {
 		singles   = flag.Int("singles", 2000, "single-route round trips per client")
 		pairs     = flag.Int("pairs", 0, "pair sample size (0 = all ordered pairs)")
 		estimator = flag.String("estimator", "link-load", "load estimator: zero, hops or link-load")
+		sweep     = flag.Int("sweep-pairs", 0, "streaming-sweep phase pair count (0 = default 100000)")
+		mcProcs   = flag.Int("multicore-procs", 0, "multi-core series GOMAXPROCS (0 = default 4, negative = skip)")
 
 		overInFlight = flag.Int("overload-inflight", 1, "overload phase: server in-flight limit")
 		overClients  = flag.Int("overload-clients", 0, "overload phase: concurrent clients (0 = 4×GOMAXPROCS, min 4)")
@@ -47,6 +49,7 @@ func main() {
 		Topo: *topo, K: *k, Seed: *seed, Estimator: *estimator,
 		Clients: *clients, BatchSize: *batch, Batches: *batches,
 		SingleOps: *singles, PairSample: *pairs,
+		SweepPairs: *sweep, MultiCoreProcs: *mcProcs,
 		OverloadInFlight: *overInFlight, OverloadClients: *overClients,
 		OverloadBatches: *overBatches,
 	})
@@ -56,7 +59,7 @@ func main() {
 	}
 
 	rep := report{
-		Schema:     "jfserve-bench/v1",
+		Schema:     "jfserve-bench/v2",
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
@@ -77,8 +80,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %s: %.0f batched lookups/sec, %.0f single ops/sec (%d clients)\n",
-		*out, res.LookupsPerSec, res.SinglesPerSec, res.Clients)
+	fmt.Printf("wrote %s: %.0f batched lookups/sec JSON, %.0f binary (%.2fx), %.0f single ops/sec (%d clients)\n",
+		*out, res.LookupsPerSec, res.BinaryLookupsPerSec, res.BinarySpeedup, res.SinglesPerSec, res.Clients)
+	fmt.Printf("sweep: %.0f pairs/sec streamed (%d pairs, %d chunks)\n",
+		res.SweepPairsPerSec, res.SweepPairs, res.SweepChunks)
+	if mc := res.MultiCore; mc != nil {
+		fmt.Printf("multi-core: %.0f JSON, %.0f binary lookups/sec at GOMAXPROCS=%d, %d stripes (%d hardware CPUs)\n",
+			mc.LookupsPerSec, mc.BinaryLookupsPerSec, mc.GOMAXPROCS, mc.Stripes, mc.NumCPU)
+	}
 	if o := res.Overload; o != nil {
 		fmt.Printf("overload: %.0f%% shed at %d clients over in-flight limit %d (p99 %.0fus)\n",
 			100*o.ShedRate, o.Clients, o.MaxInFlight, o.LatencyP99Micros)

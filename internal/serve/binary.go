@@ -1,0 +1,802 @@
+// Binary protocol v2: the length-prefixed frame codec negotiated
+// per-connection alongside the JSON v1 line protocol. The full spec a
+// third-party client needs — negotiation, frame layout, every op's
+// encoding, a worked hex transcript — is docs/SERVICE.md ("Binary
+// protocol v2"); this file is the reference implementation, pinned by
+// the golden fixtures under testdata/v2 and fuzzed by FuzzBinaryFrame /
+// FuzzBinaryBatch.
+//
+// Conventions follow the JFPC on-disk path cache (internal/paths):
+// little-endian fixed-width integers, length-prefixed strings, every
+// count bounds-checked against its remaining bytes before a single
+// allocation, floats as IEEE 754 bits. Unlike JFPC there is no
+// checksum: frames ride a stream transport whose integrity is the
+// kernel's job, exactly as the JSON protocol already assumes.
+package serve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// BinaryVersion is the binary protocol generation, carried in the last
+// preamble byte. The JSON protocol stays ProtocolVersion 1; the binary
+// framing is generation 2 of the wire format.
+const BinaryVersion = 2
+
+// BinaryPreamble opens a binary connection: the client sends these five
+// bytes immediately after connecting and the server echoes them before
+// its first response frame. Byte 0 is NUL — a byte no JSON v1 frame can
+// start with — so the server can sniff one byte to pick the codec;
+// bytes 1..3 are "JFB"; byte 4 is BinaryVersion.
+var BinaryPreamble = [5]byte{0x00, 'J', 'F', 'B', BinaryVersion}
+
+// maxBinaryString bounds one length-prefixed string (topology keys run
+// ~90 bytes; error messages a few hundred).
+const maxBinaryString = 4096
+
+// Binary opcodes (request payload byte 8). Unknown opcodes answer
+// CodeUnknownOp and the connection stays open, mirroring JSON.
+const (
+	binOpRoute          = 1
+	binOpBatch          = 2
+	binOpEstimate       = 3
+	binOpTopoLoad       = 4
+	binOpTopoEvict      = 5
+	binOpStats          = 6
+	binOpHealth         = 7
+	binOpSweep          = 8
+	binOpTestSleep      = 9
+	binOpTestCrash      = 10
+	binOpNameUnknownFmt = "binary-op-%d"
+)
+
+// Binary response kinds (response payload byte 8).
+const (
+	binKindError      = 0
+	binKindOK         = 1
+	binKindRoute      = 2
+	binKindBatch      = 3
+	binKindEstimate   = 4
+	binKindTopo       = 5
+	binKindStats      = 6
+	binKindHealth     = 7
+	binKindSweepStart = 8
+	binKindSweepChunk = 9
+	binKindSweepDone  = 10
+)
+
+// Topo-result flag bits (binKindTopo).
+const (
+	binTopoAlreadyLoaded = 1 << 0
+	binTopoCacheHit      = 1 << 1
+)
+
+var (
+	// ErrFrameTooLarge reports a length prefix over MaxFrameBytes (or
+	// zero); the peer's framing can no longer be trusted and the
+	// connection must close, mirroring the JSON frame-too-large rule.
+	ErrFrameTooLarge = errors.New("serve: binary frame length exceeds MaxFrameBytes")
+	errZeroFrame     = errors.New("serve: zero-length binary frame")
+	errTruncated     = errors.New("serve: truncated binary payload")
+	errTrailing      = errors.New("serve: trailing bytes after binary payload")
+)
+
+var le = binary.LittleEndian
+
+// AppendFrame appends payload as one length-prefixed binary frame.
+func AppendFrame(dst, payload []byte) []byte {
+	dst = le.AppendUint32(dst, uint32(len(payload)))
+	return append(dst, payload...)
+}
+
+// ReadFrame reads one length-prefixed frame, reusing *buf when it has
+// capacity. It returns ErrFrameTooLarge for a prefix over MaxFrameBytes
+// and errZeroFrame for an empty one; both mean the stream is done.
+func ReadFrame(br *bufio.Reader, buf *[]byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := le.Uint32(hdr[:])
+	if n == 0 {
+		return nil, errZeroFrame
+	}
+	if n > MaxFrameBytes {
+		return nil, ErrFrameTooLarge
+	}
+	if cap(*buf) < int(n) {
+		*buf = make([]byte, n)
+	}
+	p := (*buf)[:n]
+	if _, err := io.ReadFull(br, p); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return p, nil
+}
+
+// binReader decodes one payload with saturating error state: after the
+// first underrun every read returns zero and err is set, so decoders
+// read straight through and check once (the JFPC leReader idiom).
+type binReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *binReader) fail() {
+	if r.err == nil {
+		r.err = errTruncated
+	}
+	r.off = len(r.b)
+}
+
+func (r *binReader) need(n int) bool {
+	if r.err != nil || len(r.b)-r.off < n {
+		r.fail()
+		return false
+	}
+	return true
+}
+
+func (r *binReader) u8() byte {
+	if !r.need(1) {
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *binReader) u16() uint16 {
+	if !r.need(2) {
+		return 0
+	}
+	v := le.Uint16(r.b[r.off:])
+	r.off += 2
+	return v
+}
+
+func (r *binReader) u32() uint32 {
+	if !r.need(4) {
+		return 0
+	}
+	v := le.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *binReader) u64() uint64 {
+	if !r.need(8) {
+		return 0
+	}
+	v := le.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *binReader) i32() int32   { return int32(r.u32()) }
+func (r *binReader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+func (r *binReader) str() string {
+	n := int(r.u16())
+	if n > maxBinaryString {
+		r.fail()
+		return ""
+	}
+	if !r.need(n) {
+		return ""
+	}
+	v := string(r.b[r.off : r.off+n])
+	r.off += n
+	return v
+}
+
+// finish asserts the payload was consumed exactly.
+func (r *binReader) finish() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.b) {
+		return errTrailing
+	}
+	return nil
+}
+
+// Append-style encoder helpers.
+func appendU16(dst []byte, v uint16) []byte { return le.AppendUint16(dst, v) }
+func appendU32(dst []byte, v uint32) []byte { return le.AppendUint32(dst, v) }
+func appendU64(dst []byte, v uint64) []byte { return le.AppendUint64(dst, v) }
+func appendF64(dst []byte, v float64) []byte {
+	return le.AppendUint64(dst, math.Float64bits(v))
+}
+
+func appendStr(dst []byte, s string) ([]byte, error) {
+	if len(s) > maxBinaryString {
+		return dst, fmt.Errorf("serve: string of %d bytes exceeds the %d-byte wire limit", len(s), maxBinaryString)
+	}
+	dst = appendU16(dst, uint16(len(s)))
+	return append(dst, s...), nil
+}
+
+// binFormatID renders a binary frame id as the protocol's string id:
+// id 0 is reserved for "no id" (pre-parse errors, refused connections)
+// and maps to the empty string.
+func binFormatID(id uint64) string {
+	if id == 0 {
+		return ""
+	}
+	return strconv.FormatUint(id, 10)
+}
+
+// binParseID maps a string id back onto the binary frame id; non-numeric
+// ids (a JSON-side convention) collapse to 0.
+func binParseID(id string) uint64 {
+	if id == "" {
+		return 0
+	}
+	n, err := strconv.ParseUint(id, 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// binOpName maps an opcode to the protocol's op string; unknown opcodes
+// get a synthetic name so dispatch answers unknown-op, keeping version
+// skew non-fatal exactly like an unknown JSON op string.
+func binOpName(op byte) string {
+	switch op {
+	case binOpRoute:
+		return OpRoute
+	case binOpBatch:
+		return OpRoutesBatch
+	case binOpEstimate:
+		return OpEstimate
+	case binOpTopoLoad:
+		return OpTopoLoad
+	case binOpTopoEvict:
+		return OpTopoEvict
+	case binOpStats:
+		return OpStats
+	case binOpHealth:
+		return OpHealth
+	case binOpSweep:
+		return OpSweep
+	case binOpTestSleep:
+		return OpTestSleep
+	case binOpTestCrash:
+		return OpTestCrash
+	}
+	return fmt.Sprintf(binOpNameUnknownFmt, op)
+}
+
+// binOpCode is the inverse of binOpName for the ops a client can send.
+func binOpCode(op string) (byte, bool) {
+	switch op {
+	case OpRoute:
+		return binOpRoute, true
+	case OpRoutesBatch:
+		return binOpBatch, true
+	case OpEstimate:
+		return binOpEstimate, true
+	case OpTopoLoad:
+		return binOpTopoLoad, true
+	case OpTopoEvict:
+		return binOpTopoEvict, true
+	case OpStats:
+		return binOpStats, true
+	case OpHealth:
+		return binOpHealth, true
+	case OpSweep:
+		return binOpSweep, true
+	case OpTestSleep:
+		return binOpTestSleep, true
+	case OpTestCrash:
+		return binOpTestCrash, true
+	}
+	return 0, false
+}
+
+// AppendBinaryRequest encodes one request as a v2 payload (no length
+// prefix — AppendFrame adds it). The id is the binary protocol's
+// numeric request tag; 0 means "no id". Request.ID is ignored.
+func AppendBinaryRequest(dst []byte, id uint64, req *Request) ([]byte, error) {
+	op, ok := binOpCode(req.Op)
+	if !ok {
+		return dst, fmt.Errorf("serve: op %q has no binary encoding", req.Op)
+	}
+	dst = appendU64(dst, id)
+	dst = append(dst, op)
+	var err error
+	switch op {
+	case binOpRoute, binOpEstimate:
+		if req.Src == nil || req.Dst == nil {
+			return dst, fmt.Errorf("serve: %s needs src and dst", req.Op)
+		}
+		if dst, err = appendStr(dst, req.Topo); err != nil {
+			return dst, err
+		}
+		dst = appendU32(dst, uint32(*req.Src))
+		dst = appendU32(dst, uint32(*req.Dst))
+	case binOpBatch:
+		if dst, err = appendStr(dst, req.Topo); err != nil {
+			return dst, err
+		}
+		dst = appendU32(dst, uint32(len(req.Pairs)))
+		for _, p := range req.Pairs {
+			dst = appendU32(dst, uint32(p[0]))
+			dst = appendU32(dst, uint32(p[1]))
+		}
+	case binOpTopoLoad:
+		p := req.Params
+		if p == nil {
+			p = &TopoParams{}
+		}
+		if dst, err = appendStr(dst, p.Topo); err != nil {
+			return dst, err
+		}
+		dst = appendU32(dst, uint32(p.N))
+		dst = appendU32(dst, uint32(p.X))
+		dst = appendU32(dst, uint32(p.Y))
+		if dst, err = appendStr(dst, p.Selector); err != nil {
+			return dst, err
+		}
+		dst = appendU32(dst, uint32(p.K))
+		dst = appendU64(dst, p.Seed)
+		dst = appendU32(dst, uint32(p.TopoSample))
+		if dst, err = appendStr(dst, p.Mechanism); err != nil {
+			return dst, err
+		}
+		if dst, err = appendStr(dst, p.Estimator); err != nil {
+			return dst, err
+		}
+		dst = appendU32(dst, uint32(p.PairSample))
+	case binOpTopoEvict:
+		if dst, err = appendStr(dst, req.Topo); err != nil {
+			return dst, err
+		}
+	case binOpStats, binOpHealth, binOpTestCrash:
+		// No fields.
+	case binOpSweep:
+		sp := req.Sweep
+		if sp == nil {
+			sp = &SweepParams{}
+		}
+		if dst, err = appendStr(dst, req.Topo); err != nil {
+			return dst, err
+		}
+		dst = appendU32(dst, uint32(sp.Count))
+		dst = appendU64(dst, sp.Seed)
+		dst = appendU32(dst, uint32(sp.Chunk))
+		dst = appendU32(dst, uint32(len(sp.Pairs)))
+		for _, p := range sp.Pairs {
+			dst = appendU32(dst, uint32(p[0]))
+			dst = appendU32(dst, uint32(p[1]))
+		}
+	case binOpTestSleep:
+		dst = appendU32(dst, uint32(req.SleepMS))
+	}
+	return dst, nil
+}
+
+// DecodeBinaryRequest decodes a v2 request payload into the shared
+// Request shape (the op as its protocol string, the binary id rendered
+// through binFormatID), so both codecs dispatch through identical
+// handlers. The id is returned even when decoding fails mid-payload, so
+// the error frame can still echo it.
+func DecodeBinaryRequest(payload []byte) (id uint64, req Request, err error) {
+	r := &binReader{b: payload}
+	id = r.u64()
+	op := r.u8()
+	if r.err != nil {
+		return id, req, r.err
+	}
+	req.V = ProtocolVersion
+	req.ID = binFormatID(id)
+	req.Op = binOpName(op)
+	switch op {
+	case binOpRoute, binOpEstimate:
+		req.Topo = r.str()
+		src, dst := r.i32(), r.i32()
+		req.Src, req.Dst = &src, &dst
+	case binOpBatch:
+		req.Topo = r.str()
+		n := int(r.u32())
+		// Bounds: the count must fit the remaining bytes (8 per pair)
+		// before a single allocation. The protocol-level batch cap is
+		// the handler's call — an oversized-but-well-framed batch must
+		// answer batch-too-large exactly like its JSON twin.
+		if !r.need(8 * n) {
+			return id, req, r.err
+		}
+		req.Pairs = make([][2]int32, n)
+		for i := range req.Pairs {
+			req.Pairs[i] = [2]int32{r.i32(), r.i32()}
+		}
+	case binOpTopoLoad:
+		p := &TopoParams{}
+		p.Topo = r.str()
+		p.N = int(r.i32())
+		p.X = int(r.i32())
+		p.Y = int(r.i32())
+		p.Selector = r.str()
+		p.K = int(r.i32())
+		p.Seed = r.u64()
+		p.TopoSample = int(r.i32())
+		p.Mechanism = r.str()
+		p.Estimator = r.str()
+		p.PairSample = int(r.i32())
+		req.Params = p
+	case binOpTopoEvict:
+		req.Topo = r.str()
+	case binOpStats, binOpHealth, binOpTestCrash:
+	case binOpTestSleep:
+		req.SleepMS = int(r.u32())
+	case binOpSweep:
+		sp := &SweepParams{}
+		req.Topo = r.str()
+		sp.Count = int(r.i32())
+		sp.Seed = r.u64()
+		sp.Chunk = int(r.i32())
+		n := int(r.u32())
+		if !r.need(8 * n) {
+			return id, req, r.err
+		}
+		if n > 0 {
+			sp.Pairs = make([][2]int32, n)
+			for i := range sp.Pairs {
+				sp.Pairs[i] = [2]int32{r.i32(), r.i32()}
+			}
+		}
+		req.Sweep = sp
+	default:
+		// Unknown opcode: no fields are decoded; dispatch answers
+		// unknown-op. Trailing bytes are tolerated here (a newer
+		// client's fields), matching JSON's unknown-field tolerance.
+		return id, req, nil
+	}
+	return id, req, r.finish()
+}
+
+// appendRouteResult encodes one route: path length, nodes, then the
+// chosen candidate index (two's complement; -1 = outside the stored
+// set). Hops is not carried — it is len(path)-1 by definition.
+func appendRouteResult(dst []byte, r *RouteResult) []byte {
+	dst = appendU16(dst, uint16(len(r.Path)))
+	for _, n := range r.Path {
+		dst = appendU32(dst, uint32(n))
+	}
+	return appendU32(dst, uint32(int32(r.Index)))
+}
+
+func (r *binReader) routeResult() *RouteResult {
+	n := int(r.u16())
+	if !r.need(4 * n) {
+		return nil
+	}
+	rr := &RouteResult{Path: make([]int32, n)}
+	for i := range rr.Path {
+		rr.Path[i] = r.i32()
+	}
+	rr.Index = int(r.i32())
+	rr.Hops = len(rr.Path) - 1
+	return rr
+}
+
+// appendBatchEntries encodes a batch/sweep-chunk entry list: per entry
+// one tag byte (0 = error code string, 1 = route).
+func appendBatchEntries(dst []byte, entries []BatchEntry) ([]byte, error) {
+	var err error
+	dst = appendU32(dst, uint32(len(entries)))
+	for i := range entries {
+		if e := &entries[i]; e.Route != nil {
+			dst = append(dst, 1)
+			dst = appendRouteResult(dst, e.Route)
+		} else {
+			dst = append(dst, 0)
+			if dst, err = appendStr(dst, e.Err); err != nil {
+				return dst, err
+			}
+		}
+	}
+	return dst, nil
+}
+
+func (r *binReader) batchEntries() []BatchEntry {
+	n := int(r.u32())
+	// Each entry is at least 3 bytes (tag + empty code string), so the
+	// count is bounded by the remaining payload before any allocation.
+	if !r.need(3 * n) {
+		return nil
+	}
+	entries := make([]BatchEntry, n)
+	for i := range entries {
+		switch r.u8() {
+		case 1:
+			entries[i].Route = r.routeResult()
+		case 0:
+			entries[i].Err = r.str()
+		default:
+			r.fail()
+			return nil
+		}
+		if r.err != nil {
+			return nil
+		}
+	}
+	return entries
+}
+
+// AppendBinaryResponse encodes one response as a v2 payload. The kind
+// byte is derived from which payload field is set; a bare ok response
+// (topo-evict, test-sleep) is binKindOK.
+func AppendBinaryResponse(dst []byte, resp *Response) ([]byte, error) {
+	dst = appendU64(dst, binParseID(resp.ID))
+	var err error
+	switch {
+	case resp.Error != nil:
+		dst = append(dst, binKindError)
+		if dst, err = appendStr(dst, resp.Error.Code); err != nil {
+			return dst, err
+		}
+		msg := resp.Error.Message
+		if len(msg) > maxBinaryString {
+			msg = msg[:maxBinaryString]
+		}
+		return appendStr(dst, msg)
+	case resp.Route != nil:
+		dst = append(dst, binKindRoute)
+		return appendRouteResult(dst, resp.Route), nil
+	case resp.Batch != nil:
+		dst = append(dst, binKindBatch)
+		dst = appendU32(dst, uint32(resp.Batch.Routed))
+		return appendBatchEntries(dst, resp.Batch.Entries)
+	case resp.Estimate != nil:
+		e := resp.Estimate
+		dst = append(dst, binKindEstimate)
+		dst = appendU32(dst, uint32(e.Candidates))
+		dst = appendU32(dst, uint32(e.MinHops))
+		dst = appendF64(dst, e.AvgHops)
+		dst = appendU32(dst, uint32(e.MaxShare))
+		return appendF64(dst, e.Throughput), nil
+	case resp.Topo != nil:
+		t := resp.Topo
+		dst = append(dst, binKindTopo)
+		if dst, err = appendStr(dst, t.Key); err != nil {
+			return dst, err
+		}
+		var flags byte
+		if t.AlreadyLoaded {
+			flags |= binTopoAlreadyLoaded
+		}
+		if t.CacheHit {
+			flags |= binTopoCacheHit
+		}
+		dst = append(dst, flags)
+		dst = appendU32(dst, uint32(t.Switches))
+		dst = appendU32(dst, uint32(t.Terminals))
+		dst = appendU32(dst, uint32(t.Pairs))
+		dst = appendU32(dst, uint32(t.K))
+		return appendF64(dst, t.LoadSeconds), nil
+	case resp.Stats != nil:
+		return appendStats(dst, resp.Stats)
+	case resp.Health != nil:
+		h := resp.Health
+		dst = append(dst, binKindHealth)
+		var ready byte
+		if h.Ready {
+			ready = 1
+		}
+		dst = append(dst, ready)
+		dst = appendF64(dst, h.UptimeSeconds)
+		dst = appendU32(dst, uint32(h.Topos))
+		dst = appendU32(dst, uint32(h.Conns))
+		dst = appendU32(dst, uint32(h.MaxConns))
+		dst = appendU32(dst, uint32(h.InFlight))
+		dst = appendU32(dst, uint32(h.MaxInFlight))
+		dst = appendU64(dst, uint64(h.Shed))
+		dst = appendU64(dst, uint64(h.ConnShed))
+		dst = appendU64(dst, uint64(h.Panics))
+		dst = appendU64(dst, uint64(h.HandlerTimeouts))
+		dst = appendU64(dst, uint64(h.IOTimeouts))
+		dst = appendU32(dst, uint32(h.SweepsActive))
+		return appendU32(dst, uint32(h.MaxSweeps)), nil
+	case resp.Sweep != nil:
+		s := resp.Sweep
+		dst = append(dst, binKindSweepStart)
+		dst = appendU32(dst, uint32(s.TotalPairs))
+		dst = appendU32(dst, uint32(s.ChunkSize))
+		return appendU32(dst, uint32(s.Chunks)), nil
+	case resp.SweepChunk != nil:
+		c := resp.SweepChunk
+		dst = append(dst, binKindSweepChunk)
+		dst = appendU32(dst, uint32(c.Seq))
+		dst = appendU32(dst, uint32(c.Routed))
+		return appendBatchEntries(dst, c.Entries)
+	case resp.SweepDone != nil:
+		d := resp.SweepDone
+		dst = append(dst, binKindSweepDone)
+		dst = appendU32(dst, uint32(d.Chunks))
+		dst = appendU64(dst, uint64(d.Routed))
+		return appendU64(dst, uint64(d.Failed)), nil
+	}
+	return append(dst, binKindOK), nil
+}
+
+func appendStats(dst []byte, st *StatsResult) ([]byte, error) {
+	var err error
+	dst = append(dst, binKindStats)
+	dst = appendF64(dst, st.UptimeSeconds)
+	dst = appendU64(dst, uint64(st.Requests))
+	dst = appendU64(dst, uint64(st.RouteLookups))
+	dst = appendF64(dst, st.QPS)
+	dst = appendU64(dst, uint64(st.Latency.Count))
+	dst = appendF64(dst, st.Latency.MeanMicros)
+	dst = appendF64(dst, st.Latency.P50Micros)
+	dst = appendF64(dst, st.Latency.P90Micros)
+	dst = appendF64(dst, st.Latency.P99Micros)
+	ops := make([]string, 0, len(st.PerOp))
+	for op := range st.PerOp {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	dst = appendU16(dst, uint16(len(ops)))
+	for _, op := range ops {
+		if dst, err = appendStr(dst, op); err != nil {
+			return dst, err
+		}
+		dst = appendU64(dst, uint64(st.PerOp[op]))
+	}
+	dst = appendU16(dst, uint16(len(st.Topos)))
+	for _, ti := range st.Topos {
+		if dst, err = appendStr(dst, ti.Key); err != nil {
+			return dst, err
+		}
+		dst = appendU32(dst, uint32(ti.Switches))
+		dst = appendU32(dst, uint32(ti.Pairs))
+		dst = appendU32(dst, uint32(ti.K))
+		if dst, err = appendStr(dst, ti.Mechanism); err != nil {
+			return dst, err
+		}
+		if dst, err = appendStr(dst, ti.Estimator); err != nil {
+			return dst, err
+		}
+	}
+	return dst, nil
+}
+
+// DecodeBinaryResponse decodes a v2 response payload into the shared
+// Response shape (the binary id rendered through binFormatID), the
+// exact inverse of AppendBinaryResponse.
+func DecodeBinaryResponse(payload []byte) (Response, error) {
+	r := &binReader{b: payload}
+	resp := Response{V: ProtocolVersion}
+	resp.ID = binFormatID(r.u64())
+	kind := r.u8()
+	if r.err != nil {
+		return resp, r.err
+	}
+	resp.OK = kind != binKindError
+	switch kind {
+	case binKindError:
+		resp.Error = &ErrorInfo{Code: r.str(), Message: r.str()}
+	case binKindOK:
+	case binKindRoute:
+		resp.Route = r.routeResult()
+	case binKindBatch:
+		b := &BatchResult{Routed: int(r.i32())}
+		b.Entries = r.batchEntries()
+		resp.Batch = b
+	case binKindEstimate:
+		e := &EstimateResult{}
+		e.Candidates = int(r.i32())
+		e.MinHops = int(r.i32())
+		e.AvgHops = r.f64()
+		e.MaxShare = int(r.i32())
+		e.Throughput = r.f64()
+		resp.Estimate = e
+	case binKindTopo:
+		t := &TopoResult{Key: r.str()}
+		flags := r.u8()
+		t.AlreadyLoaded = flags&binTopoAlreadyLoaded != 0
+		t.CacheHit = flags&binTopoCacheHit != 0
+		t.Switches = int(r.i32())
+		t.Terminals = int(r.i32())
+		t.Pairs = int(r.i32())
+		t.K = int(r.i32())
+		t.LoadSeconds = r.f64()
+		resp.Topo = t
+	case binKindStats:
+		resp.Stats = r.stats()
+	case binKindHealth:
+		h := &HealthResult{Ready: r.u8() == 1}
+		h.UptimeSeconds = r.f64()
+		h.Topos = int(r.i32())
+		h.Conns = int(r.i32())
+		h.MaxConns = int(r.i32())
+		h.InFlight = int(r.i32())
+		h.MaxInFlight = int(r.i32())
+		h.Shed = int64(r.u64())
+		h.ConnShed = int64(r.u64())
+		h.Panics = int64(r.u64())
+		h.HandlerTimeouts = int64(r.u64())
+		h.IOTimeouts = int64(r.u64())
+		h.SweepsActive = int(r.i32())
+		h.MaxSweeps = int(r.i32())
+		resp.Health = h
+	case binKindSweepStart:
+		s := &SweepStart{}
+		s.TotalPairs = int(r.i32())
+		s.ChunkSize = int(r.i32())
+		s.Chunks = int(r.i32())
+		resp.Sweep = s
+	case binKindSweepChunk:
+		c := &SweepChunk{}
+		c.Seq = int(r.i32())
+		c.Routed = int(r.i32())
+		c.Entries = r.batchEntries()
+		resp.SweepChunk = c
+	case binKindSweepDone:
+		d := &SweepDone{}
+		d.Chunks = int(r.i32())
+		d.Routed = int64(r.u64())
+		d.Failed = int64(r.u64())
+		resp.SweepDone = d
+	default:
+		return resp, fmt.Errorf("serve: unknown binary response kind %d", kind)
+	}
+	return resp, r.finish()
+}
+
+func (r *binReader) stats() *StatsResult {
+	st := &StatsResult{}
+	st.UptimeSeconds = r.f64()
+	st.Requests = int64(r.u64())
+	st.RouteLookups = int64(r.u64())
+	st.QPS = r.f64()
+	st.Latency.Count = int64(r.u64())
+	st.Latency.MeanMicros = r.f64()
+	st.Latency.P50Micros = r.f64()
+	st.Latency.P90Micros = r.f64()
+	st.Latency.P99Micros = r.f64()
+	nops := int(r.u16())
+	if !r.need(10 * nops) {
+		return st
+	}
+	st.PerOp = make(map[string]int64, nops)
+	for i := 0; i < nops; i++ {
+		op := r.str()
+		st.PerOp[op] = int64(r.u64())
+		if r.err != nil {
+			return st
+		}
+	}
+	ntopos := int(r.u16())
+	if !r.need(18 * ntopos) {
+		return st
+	}
+	st.Topos = make([]TopoInfo, ntopos)
+	for i := range st.Topos {
+		ti := &st.Topos[i]
+		ti.Key = r.str()
+		ti.Switches = int(r.i32())
+		ti.Pairs = int(r.i32())
+		ti.K = int(r.i32())
+		ti.Mechanism = r.str()
+		ti.Estimator = r.str()
+		if r.err != nil {
+			return st
+		}
+	}
+	return st
+}

@@ -1,0 +1,282 @@
+package chaos
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+
+	"repro/internal/serve"
+	"repro/internal/xrand"
+)
+
+// This file holds the binary-protocol (v2) rogues: clients that abuse
+// the length-prefixed framing and the preamble negotiation the way the
+// JSON rogues in rogue.go abuse the line protocol.
+
+// binHandshake performs a correct v2 negotiation: send the preamble,
+// read the echo.
+func binHandshake(conn net.Conn) (*bufio.Reader, error) {
+	if _, err := conn.Write(serve.BinaryPreamble[:]); err != nil {
+		return nil, err
+	}
+	br := bufio.NewReader(conn)
+	var echo [5]byte
+	if _, err := io.ReadFull(br, echo[:]); err != nil {
+		return nil, err
+	}
+	if echo != serve.BinaryPreamble {
+		return nil, fmt.Errorf("handshake echo % x, want % x", echo, serve.BinaryPreamble)
+	}
+	return br, nil
+}
+
+// readBinError reads one binary frame and decodes it, expecting an
+// error response.
+func readBinError(br *bufio.Reader) (serve.Response, error) {
+	var buf []byte
+	payload, err := serve.ReadFrame(br, &buf)
+	if err != nil {
+		return serve.Response{}, err
+	}
+	resp, err := serve.DecodeBinaryResponse(payload)
+	if err != nil {
+		return serve.Response{}, fmt.Errorf("unparseable response frame % x: %w", payload, err)
+	}
+	if resp.OK || resp.Error == nil {
+		return resp, fmt.Errorf("server accepted abuse: %+v", resp)
+	}
+	return resp, nil
+}
+
+// BinaryGarbagePrefix negotiates the binary protocol correctly and then
+// sends frames with hostile length prefixes — over the frame cap, zero,
+// and valid-length frames full of junk. Each must draw an error frame
+// (closing the connection where the spec says so, after which it
+// redials), never silence or a crash.
+type BinaryGarbagePrefix struct {
+	// Frames is the number of hostile frames to send (default 15).
+	Frames int
+	// Seed derives the junk (default 1).
+	Seed uint64
+
+	// ErrorFrames counts well-formed binary error responses received.
+	ErrorFrames int
+}
+
+func (g *BinaryGarbagePrefix) Name() string { return "binary-garbage-prefix" }
+
+func (g *BinaryGarbagePrefix) Run(ctx context.Context, network, addr string) error {
+	frames := g.Frames
+	if frames <= 0 {
+		frames = 15
+	}
+	seed := g.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rng := xrand.NewPair(seed, 0x62677066) // "bgpf"
+	conn, err := dialCtx(ctx, network, addr)
+	if err != nil {
+		return err
+	}
+	defer func() { conn.Close() }()
+	br, err := binHandshake(conn)
+	if err != nil {
+		return fmt.Errorf("binary-garbage-prefix: handshake: %w", err)
+	}
+	redial := func() error {
+		conn.Close()
+		if conn, err = dialCtx(ctx, network, addr); err != nil {
+			return err
+		}
+		if br, err = binHandshake(conn); err != nil {
+			return fmt.Errorf("binary-garbage-prefix: re-handshake: %w", err)
+		}
+		return nil
+	}
+	var hdr [4]byte
+	for i := 0; i < frames; i++ {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		switch rng.IntN(3) {
+		case 0:
+			// Length prefix over the cap: one frame-too-large error,
+			// then the server closes.
+			binary.LittleEndian.PutUint32(hdr[:], uint32(serve.MaxFrameBytes+1+rng.IntN(1<<10)))
+			if _, err := conn.Write(hdr[:]); err != nil {
+				if err := redial(); err != nil {
+					return err
+				}
+				continue
+			}
+			resp, err := readBinError(br)
+			if err != nil {
+				return fmt.Errorf("binary-garbage-prefix: oversized prefix: %w", err)
+			}
+			if resp.Error.Code != serve.CodeFrameTooLarge {
+				return fmt.Errorf("binary-garbage-prefix: oversized prefix drew %s, want %s",
+					resp.Error.Code, serve.CodeFrameTooLarge)
+			}
+			g.ErrorFrames++
+			if err := redial(); err != nil {
+				return err
+			}
+		case 1:
+			// Zero length prefix: carries nothing to resync on, so one
+			// bad-request error and a close.
+			binary.LittleEndian.PutUint32(hdr[:], 0)
+			if _, err := conn.Write(hdr[:]); err != nil {
+				if err := redial(); err != nil {
+					return err
+				}
+				continue
+			}
+			resp, err := readBinError(br)
+			if err != nil {
+				return fmt.Errorf("binary-garbage-prefix: zero prefix: %w", err)
+			}
+			if resp.Error.Code != serve.CodeBadRequest {
+				return fmt.Errorf("binary-garbage-prefix: zero prefix drew %s, want %s",
+					resp.Error.Code, serve.CodeBadRequest)
+			}
+			g.ErrorFrames++
+			if err := redial(); err != nil {
+				return err
+			}
+		default:
+			// Well-framed junk payload: an error frame, connection open.
+			payload := make([]byte, 1+rng.IntN(64))
+			for j := range payload {
+				payload[j] = byte(rng.IntN(256))
+			}
+			frame := serve.AppendFrame(nil, payload)
+			if _, err := conn.Write(frame); err != nil {
+				if err := redial(); err != nil {
+					return err
+				}
+				continue
+			}
+			if _, err := readBinError(br); err != nil {
+				return fmt.Errorf("binary-garbage-prefix: junk payload: %w", err)
+			}
+			g.ErrorFrames++
+		}
+	}
+	return nil
+}
+
+// BinaryMidFrameDisconnect negotiates correctly, writes a length prefix
+// promising more bytes than it ever sends, and drops the connection.
+// The server must clean up silently, exactly like its JSON counterpart.
+type BinaryMidFrameDisconnect struct {
+	// Conns is the number of connect-abort cycles (default 3).
+	Conns int
+	// Seed varies the promised length and the bytes delivered.
+	Seed uint64
+}
+
+func (m *BinaryMidFrameDisconnect) Name() string { return "binary-mid-frame-disconnect" }
+
+func (m *BinaryMidFrameDisconnect) Run(ctx context.Context, network, addr string) error {
+	conns := m.Conns
+	if conns <= 0 {
+		conns = 3
+	}
+	seed := m.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rng := xrand.NewPair(seed, 0x626d6664) // "bmfd"
+	for i := 0; i < conns; i++ {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		conn, err := dialCtx(ctx, network, addr)
+		if err != nil {
+			return err
+		}
+		if _, err := binHandshake(conn); err != nil {
+			conn.Close()
+			return fmt.Errorf("binary-mid-frame-disconnect: handshake: %w", err)
+		}
+		promised := 16 + rng.IntN(1024)
+		sent := rng.IntN(promised) // always short of the promise
+		var hdr [4]byte
+		binary.LittleEndian.PutUint32(hdr[:], uint32(promised))
+		conn.Write(hdr[:])
+		conn.Write(make([]byte, sent))
+		conn.Close()
+	}
+	return nil
+}
+
+// NegotiationAbuser attacks the preamble itself: wrong magic, version
+// skew, and connections dropped mid-preamble. The malformed preambles
+// must draw the documented binary error frame followed by a close; the
+// truncated ones must be cleaned up silently.
+type NegotiationAbuser struct {
+	// Rounds is the number of abuse cycles, each running every variant
+	// (default 2).
+	Rounds int
+
+	// Rejections counts the error frames received for malformed
+	// preambles.
+	Rejections int
+}
+
+func (n *NegotiationAbuser) Name() string { return "negotiation-abuser" }
+
+func (n *NegotiationAbuser) Run(ctx context.Context, network, addr string) error {
+	rounds := n.Rounds
+	if rounds <= 0 {
+		rounds = 2
+	}
+	expectReject := func(pre []byte, wantCode string) error {
+		conn, err := dialCtx(ctx, network, addr)
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		if _, err := conn.Write(pre); err != nil {
+			return fmt.Errorf("write preamble: %w", err)
+		}
+		br := bufio.NewReader(conn)
+		resp, err := readBinError(br)
+		if err != nil {
+			return fmt.Errorf("preamble % x: %w", pre, err)
+		}
+		if resp.Error.Code != wantCode {
+			return fmt.Errorf("preamble % x drew %s, want %s", pre, resp.Error.Code, wantCode)
+		}
+		// The error frame must be the connection's last breath.
+		if extra, err := br.ReadByte(); err == nil {
+			return fmt.Errorf("connection alive after rejected preamble (read %#x)", extra)
+		}
+		n.Rejections++
+		return nil
+	}
+	for i := 0; i < rounds; i++ {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if err := expectReject([]byte{0x00, 'X', 'Y', 'Z', serve.BinaryVersion}, serve.CodeBadRequest); err != nil {
+			return fmt.Errorf("negotiation-abuser: bad magic: %w", err)
+		}
+		if err := expectReject([]byte{0x00, 'J', 'F', 'B', serve.BinaryVersion + 1 + byte(i)}, serve.CodeBadVersion); err != nil {
+			return fmt.Errorf("negotiation-abuser: version skew: %w", err)
+		}
+		// Truncated preamble, then gone: nothing to answer, nothing to
+		// crash.
+		conn, err := dialCtx(ctx, network, addr)
+		if err != nil {
+			return err
+		}
+		conn.Write(serve.BinaryPreamble[:2])
+		conn.Close()
+	}
+	return nil
+}

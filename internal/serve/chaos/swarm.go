@@ -18,9 +18,12 @@ type SwarmConfig struct {
 	Rogues []Rogue
 	// GoodClients well-behaved clients each issue GoodRequests route or
 	// health requests with the retry policy, treating overloaded as
-	// backpressure.
-	GoodClients  int
-	GoodRequests int
+	// backpressure. BinaryGoodClients do the same over the binary v2
+	// codec, sharing one connection-level daemon with the JSON
+	// population — rogue abuse of either codec must harm neither.
+	GoodClients       int
+	BinaryGoodClients int
+	GoodRequests      int
 	// TopoKey and Switches direct the good clients' route lookups; with
 	// an empty key they issue health probes instead.
 	TopoKey  string
@@ -73,13 +76,19 @@ func RunSwarm(ctx context.Context, cfg SwarmConfig) Report {
 		}(r)
 	}
 
-	for i := 0; i < cfg.GoodClients; i++ {
+	for i := 0; i < cfg.GoodClients+cfg.BinaryGoodClients; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			p := retry
 			p.Seed = seed ^ uint64(i+1)
-			c, err := client.DialRetry(ctx, cfg.Network, cfg.Addr, p)
+			var c *client.Client
+			var err error
+			if i < cfg.GoodClients {
+				c, err = client.DialRetry(ctx, cfg.Network, cfg.Addr, p)
+			} else {
+				c, err = client.DialBinaryRetry(ctx, cfg.Network, cfg.Addr, p)
+			}
 			if err != nil {
 				mu.Lock()
 				rep.GoodErrors = append(rep.GoodErrors, fmt.Sprintf("good %d: dial: %v", i, err))

@@ -1,9 +1,11 @@
 // Package client is the in-repo Go client for the jfserve wire protocol
-// (docs/SERVICE.md): newline-delimited JSON requests over a Unix socket
-// or TCP connection, one response per request, in order. It exists for
-// the protocol tests, the serve smoke gate, the chaos harness and
-// exp.ServeBench; a third-party client should be written from
-// docs/SERVICE.md alone.
+// (docs/SERVICE.md): newline-delimited JSON requests (Dial) or
+// length-prefixed binary v2 frames (DialBinary) over a Unix socket or
+// TCP connection, one response per request, in order — plus streaming
+// sweeps, whose chunk frames arrive between a Sweep call's ack and its
+// final totals. It exists for the protocol tests, the serve smoke gate,
+// the chaos harness and exp.ServeBench; a third-party client should be
+// written from docs/SERVICE.md alone.
 //
 // Every call takes a context.Context: a deadline bounds the dial and
 // each request's network I/O, and cancellation interrupts a call that
@@ -16,9 +18,11 @@ package client
 import (
 	"bufio"
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"strconv"
 	"sync"
@@ -68,11 +72,18 @@ var DefaultRetry = RetryPolicy{MaxAttempts: 4, BaseDelay: 5 * time.Millisecond, 
 type Client struct {
 	mu     sync.Mutex
 	conn   net.Conn
+	br     *bufio.Reader
 	sc     *bufio.Scanner
 	w      *bufio.Writer
 	enc    *json.Encoder
 	nextID uint64
 	closed bool
+
+	// bin selects the binary v2 codec (DialBinary); wbuf and rbuf are
+	// its reused frame buffers.
+	bin  bool
+	wbuf []byte
+	rbuf []byte
 
 	// Redial target; empty for New-wrapped connections, which cannot
 	// reconnect and therefore never retry transport errors.
@@ -108,15 +119,91 @@ func DialRetry(ctx context.Context, network, addr string, p RetryPolicy) (*Clien
 	return c, nil
 }
 
+// DialBinary connects like Dial but negotiates the binary v2 protocol:
+// the five-byte preamble is sent and its echo verified before the call
+// returns. Every later request rides binary frames; the API is
+// otherwise identical to a JSON client's. If the server refuses the
+// connection at its connection limit, the refusal arrives as one JSON
+// overloaded frame in place of the echo and surfaces as that
+// *RemoteError.
+func DialBinary(ctx context.Context, network, addr string) (*Client, error) {
+	c, err := Dial(ctx, network, addr)
+	if err != nil {
+		return nil, err
+	}
+	c.bin = true
+	c.mu.Lock()
+	err = c.handshakeLocked(ctx)
+	c.mu.Unlock()
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// DialBinaryRetry is DialBinary plus a retry policy (see DialRetry).
+func DialBinaryRetry(ctx context.Context, network, addr string, p RetryPolicy) (*Client, error) {
+	c, err := DialBinary(ctx, network, addr)
+	if err != nil {
+		return nil, err
+	}
+	c.SetRetry(p)
+	return c, nil
+}
+
 // New wraps an established connection. A wrapped client cannot redial,
 // so a retry policy set on it only retries overloaded responses (the
 // connection is still good); transport failures are terminal.
 func New(conn net.Conn) *Client {
 	c := &Client{conn: conn, w: bufio.NewWriterSize(conn, 64<<10)}
-	c.sc = bufio.NewScanner(conn)
+	c.br = bufio.NewReaderSize(conn, 64<<10)
+	c.sc = bufio.NewScanner(c.br)
 	c.sc.Buffer(make([]byte, 64<<10), serve.MaxFrameBytes)
 	c.enc = json.NewEncoder(c.w)
 	return c
+}
+
+// handshakeLocked negotiates the binary protocol on a fresh connection:
+// send the preamble, require its echo. A JSON byte in place of the echo
+// is the server's connection-limit refusal frame (the only thing a
+// server ever says before reading the preamble) and is surfaced as its
+// RemoteError.
+func (c *Client) handshakeLocked(ctx context.Context) error {
+	disarm := c.armCtxLocked(ctx)
+	defer disarm()
+	if _, err := c.w.Write(serve.BinaryPreamble[:]); err != nil {
+		c.failLocked()
+		return err
+	}
+	if err := c.w.Flush(); err != nil {
+		c.failLocked()
+		return err
+	}
+	first, err := c.br.Peek(1)
+	if err != nil {
+		c.failLocked()
+		return fmt.Errorf("jfserve: binary handshake: %w", err)
+	}
+	if first[0] != serve.BinaryPreamble[0] {
+		line, rerr := c.br.ReadBytes('\n')
+		c.failLocked()
+		var resp serve.Response
+		if rerr == nil && json.Unmarshal(line, &resp) == nil && resp.Error != nil {
+			return &RemoteError{Code: resp.Error.Code, Message: resp.Error.Message}
+		}
+		return fmt.Errorf("jfserve: binary handshake: unexpected byte %#02x in place of the preamble echo", first[0])
+	}
+	var echo [5]byte
+	if _, err := io.ReadFull(c.br, echo[:]); err != nil {
+		c.failLocked()
+		return fmt.Errorf("jfserve: binary handshake: %w", err)
+	}
+	if echo != serve.BinaryPreamble {
+		c.failLocked()
+		return fmt.Errorf("jfserve: binary handshake: bad preamble echo % x", echo)
+	}
+	return nil
 }
 
 // SetRetry installs a retry policy (see RetryPolicy; zero MaxAttempts
@@ -235,7 +322,8 @@ func (c *Client) backoffLocked(ctx context.Context, attempt int) error {
 	}
 }
 
-// redialLocked re-establishes the connection after a transport failure.
+// redialLocked re-establishes the connection after a transport failure,
+// re-running the binary handshake when this is a binary client.
 func (c *Client) redialLocked(ctx context.Context) error {
 	var d net.Dialer
 	conn, err := d.DialContext(ctx, c.network, c.addr)
@@ -244,9 +332,15 @@ func (c *Client) redialLocked(ctx context.Context) error {
 	}
 	c.conn = conn
 	c.w = bufio.NewWriterSize(conn, 64<<10)
-	c.sc = bufio.NewScanner(conn)
+	c.br = bufio.NewReaderSize(conn, 64<<10)
+	c.sc = bufio.NewScanner(c.br)
 	c.sc.Buffer(make([]byte, 64<<10), serve.MaxFrameBytes)
 	c.enc = json.NewEncoder(c.w)
+	if c.bin {
+		if err := c.handshakeLocked(ctx); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -259,6 +353,99 @@ func (c *Client) failLocked() {
 	}
 }
 
+// errEncode marks a request the binary codec cannot express; the
+// connection is untouched and a retry would fail identically.
+var errEncode = errors.New("jfserve: request not encodable in the binary protocol")
+
+// armCtxLocked maps the context onto the connection: the deadline
+// directly, and cancellation by expiring the deadline from a watcher
+// goroutine. The returned function disarms the watcher.
+func (c *Client) armCtxLocked(ctx context.Context) func() {
+	if d, ok := ctx.Deadline(); ok {
+		c.conn.SetDeadline(d)
+	} else {
+		c.conn.SetDeadline(time.Time{})
+	}
+	done := ctx.Done()
+	if done == nil {
+		return func() {}
+	}
+	stop := make(chan struct{})
+	conn := c.conn
+	go func() {
+		select {
+		case <-done:
+			conn.SetDeadline(time.Unix(1, 0))
+		case <-stop:
+		}
+	}()
+	return func() { close(stop) }
+}
+
+// writeReqLocked encodes and flushes one request frame in the client's
+// codec. An errEncode failure leaves the connection clean.
+func (c *Client) writeReqLocked(req *serve.Request) error {
+	if !c.bin {
+		if err := c.enc.Encode(req); err != nil {
+			return err
+		}
+		return c.w.Flush()
+	}
+	id, _ := strconv.ParseUint(req.ID, 10, 64)
+	b := append(c.wbuf[:0], 0, 0, 0, 0) // length prefix, patched below
+	b, err := serve.AppendBinaryRequest(b, id, req)
+	if err != nil {
+		return fmt.Errorf("%w: %v", errEncode, err)
+	}
+	binary.LittleEndian.PutUint32(b[:4], uint32(len(b)-4))
+	c.wbuf = b
+	if _, err := c.w.Write(b); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+// readRespLocked reads and decodes one response frame in the client's
+// codec.
+func (c *Client) readRespLocked() (serve.Response, error) {
+	if c.bin {
+		payload, err := serve.ReadFrame(c.br, &c.rbuf)
+		if err != nil {
+			return serve.Response{}, err
+		}
+		resp, err := serve.DecodeBinaryResponse(payload)
+		if err != nil {
+			return serve.Response{}, fmt.Errorf("jfserve: bad response frame: %w", err)
+		}
+		return resp, nil
+	}
+	if !c.sc.Scan() {
+		if err := c.sc.Err(); err != nil {
+			return serve.Response{}, err
+		}
+		return serve.Response{}, fmt.Errorf("jfserve: connection closed")
+	}
+	var resp serve.Response
+	if err := json.Unmarshal(c.sc.Bytes(), &resp); err != nil {
+		return serve.Response{}, fmt.Errorf("jfserve: bad response frame: %w", err)
+	}
+	return resp, nil
+}
+
+// ensureConnLocked verifies the client is usable, redialing if needed.
+func (c *Client) ensureConnLocked(ctx context.Context) error {
+	if c.closed {
+		return fmt.Errorf("jfserve: client is closed")
+	}
+	if c.conn == nil {
+		if c.network == "" {
+			return fmt.Errorf("jfserve: connection is closed")
+		}
+		return c.redialLocked(ctx)
+	}
+	return nil
+}
+
 // doLocked performs one attempt: write the frame, read the response.
 // The context's deadline bounds the network I/O and cancellation
 // interrupts a blocked read or write.
@@ -266,16 +453,8 @@ func (c *Client) doLocked(ctx context.Context, req serve.Request) (serve.Respons
 	if err := ctx.Err(); err != nil {
 		return serve.Response{}, err
 	}
-	if c.closed {
-		return serve.Response{}, fmt.Errorf("jfserve: client is closed")
-	}
-	if c.conn == nil {
-		if c.network == "" {
-			return serve.Response{}, fmt.Errorf("jfserve: connection is closed")
-		}
-		if err := c.redialLocked(ctx); err != nil {
-			return serve.Response{}, err
-		}
+	if err := c.ensureConnLocked(ctx); err != nil {
+		return serve.Response{}, err
 	}
 	req.V = serve.ProtocolVersion
 	if req.ID == "" {
@@ -283,25 +462,8 @@ func (c *Client) doLocked(ctx context.Context, req serve.Request) (serve.Respons
 		req.ID = strconv.FormatUint(c.nextID, 10)
 	}
 
-	// Map the context onto the connection: the deadline directly, and
-	// cancellation by expiring the deadline from a watcher goroutine.
-	if d, ok := ctx.Deadline(); ok {
-		c.conn.SetDeadline(d)
-	} else {
-		c.conn.SetDeadline(time.Time{})
-	}
-	if done := ctx.Done(); done != nil {
-		stop := make(chan struct{})
-		conn := c.conn
-		go func() {
-			select {
-			case <-done:
-				conn.SetDeadline(time.Unix(1, 0))
-			case <-stop:
-			}
-		}()
-		defer close(stop)
-	}
+	disarm := c.armCtxLocked(ctx)
+	defer disarm()
 	ctxErr := func(err error) error {
 		if cerr := ctx.Err(); cerr != nil {
 			return cerr
@@ -309,26 +471,17 @@ func (c *Client) doLocked(ctx context.Context, req serve.Request) (serve.Respons
 		return err
 	}
 
-	if err := c.enc.Encode(req); err != nil {
-		c.failLocked()
-		return serve.Response{}, ctxErr(err)
-	}
-	if err := c.w.Flush(); err != nil {
-		c.failLocked()
-		return serve.Response{}, ctxErr(err)
-	}
-	if !c.sc.Scan() {
-		err := c.sc.Err()
-		c.failLocked()
-		if err != nil {
-			return serve.Response{}, ctxErr(err)
+	if err := c.writeReqLocked(&req); err != nil {
+		if errors.Is(err, errEncode) {
+			return serve.Response{}, err
 		}
-		return serve.Response{}, fmt.Errorf("jfserve: connection closed")
-	}
-	var resp serve.Response
-	if err := json.Unmarshal(c.sc.Bytes(), &resp); err != nil {
 		c.failLocked()
-		return serve.Response{}, fmt.Errorf("jfserve: bad response frame: %w", err)
+		return serve.Response{}, ctxErr(err)
+	}
+	resp, err := c.readRespLocked()
+	if err != nil {
+		c.failLocked()
+		return serve.Response{}, ctxErr(err)
 	}
 	if resp.ID != req.ID {
 		c.failLocked()
@@ -371,6 +524,114 @@ func (c *Client) RoutesBatch(ctx context.Context, topo string, pairs [][2]int32)
 		return serve.BatchResult{}, fmt.Errorf("jfserve: routes-batch response missing payload")
 	}
 	return *resp.Batch, nil
+}
+
+// Sweep submits a streaming sweep and drains its whole result stream:
+// the ack is returned as SweepStart, every chunk frame is handed to fn
+// in order (fn may be nil to count only), and the final totals are
+// returned as SweepDone. The client's connection is held for the
+// duration — other goroutines' calls queue behind it.
+//
+// Retry semantics differ from Do because a sweep is NOT idempotent
+// once admitted (each routed pair advances the topology's adaptive
+// state). Only a submission refused with the overloaded code —
+// guaranteed to have executed nothing — is retried under the client's
+// policy. Any failure after the ack (mid-stream transport error, a
+// chunk out of sequence, an fn error that leaves frames unread) drops
+// the connection and returns without resubmitting.
+func (c *Client) Sweep(ctx context.Context, topo string, p serve.SweepParams, fn func(serve.SweepChunk) error) (serve.SweepStart, serve.SweepDone, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	attempts := c.retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var start serve.SweepStart
+	var done serve.SweepDone
+	var err error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			if serr := c.backoffLocked(ctx, attempt); serr != nil {
+				return start, done, err // context expired while backing off
+			}
+		}
+		var started bool
+		start, done, started, err = c.sweepOnceLocked(ctx, topo, p, fn)
+		if err == nil || started || ctx.Err() != nil {
+			return start, done, err
+		}
+		var re *RemoteError
+		if !errors.As(err, &re) || re.Code != serve.CodeOverloaded {
+			return start, done, err
+		}
+	}
+	return start, done, err
+}
+
+// sweepOnceLocked runs one sweep attempt. started reports that the
+// server acknowledged the sweep — the point of no return for retries.
+func (c *Client) sweepOnceLocked(ctx context.Context, topo string, p serve.SweepParams, fn func(serve.SweepChunk) error) (start serve.SweepStart, done serve.SweepDone, started bool, err error) {
+	resp, err := c.doLocked(ctx, serve.Request{Op: serve.OpSweep, Topo: topo, Sweep: &p})
+	if err != nil {
+		return start, done, false, err
+	}
+	if resp.Sweep == nil {
+		c.failLocked()
+		return start, done, false, fmt.Errorf("jfserve: sweep response missing payload")
+	}
+	start = *resp.Sweep
+	id := resp.ID
+
+	disarm := c.armCtxLocked(ctx)
+	defer disarm()
+	ctxErr := func(err error) error {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		return err
+	}
+	for next := 0; ; {
+		frame, rerr := c.readRespLocked()
+		if rerr != nil {
+			c.failLocked()
+			return start, done, true, ctxErr(rerr)
+		}
+		if frame.ID != id {
+			c.failLocked()
+			return start, done, true, fmt.Errorf("jfserve: sweep stream carries id %q, want %q", frame.ID, id)
+		}
+		if !frame.OK {
+			// Mid-stream errors are not part of the protocol; whatever
+			// this is, the stream cannot be trusted.
+			c.failLocked()
+			if frame.Error != nil {
+				return start, done, true, &RemoteError{Code: frame.Error.Code, Message: frame.Error.Message}
+			}
+			return start, done, true, &RemoteError{Code: "missing-error", Message: "ok=false with no error object"}
+		}
+		switch {
+		case frame.SweepChunk != nil:
+			ch := *frame.SweepChunk
+			if ch.Seq != next {
+				c.failLocked()
+				return start, done, true, fmt.Errorf("jfserve: sweep chunk %d arrived, want %d", ch.Seq, next)
+			}
+			next++
+			if fn != nil {
+				if cbErr := fn(ch); cbErr != nil {
+					// The stream's remaining frames are unread; this
+					// connection cannot carry another request.
+					c.failLocked()
+					return start, done, true, cbErr
+				}
+			}
+		case frame.SweepDone != nil:
+			return start, *frame.SweepDone, true, nil
+		default:
+			c.failLocked()
+			return start, done, true, fmt.Errorf("jfserve: unexpected frame in sweep stream")
+		}
+	}
 }
 
 // Estimate returns the pair's path-set quality and isolated-flow

@@ -27,6 +27,14 @@ const MaxFrameBytes = 1 << 20
 // MaxBatchPairs bounds the pairs of one routes-batch request.
 const MaxBatchPairs = 8192
 
+// MaxSweepPairs bounds the total pairs of one sweep request (generated
+// or explicit). Larger workloads submit several sweeps.
+const MaxSweepPairs = 1 << 20
+
+// DefaultSweepChunk is the sweep result-frame size when the request
+// leaves "chunk" unset.
+const DefaultSweepChunk = 1024
+
 // Request operations.
 const (
 	OpRoute       = "route"
@@ -39,6 +47,12 @@ const (
 	// from load shedding and the handler timeout, so probes get an
 	// answer from an overloaded server — that is its whole point.
 	OpHealth = "health"
+	// OpSweep submits a long route sweep whose results stream back as
+	// separate chunk frames (all carrying the sweep request's id) that
+	// may interleave with this connection's other responses, so a long
+	// sweep never head-of-line blocks lookups. See docs/SERVICE.md
+	// "Streaming sweeps".
+	OpSweep = "sweep"
 )
 
 // Test operations, registered only when Options.EnableTestOps is set
@@ -116,9 +130,29 @@ type Request struct {
 	Pairs [][2]int32 `json:"pairs,omitempty"`
 	// Params configures topo-load.
 	Params *TopoParams `json:"params,omitempty"`
+	// Sweep configures a sweep request.
+	Sweep *SweepParams `json:"sweep,omitempty"`
 	// SleepMS is the test-sleep hold time in milliseconds (test ops
 	// only; ignored — like any unknown field — by production servers).
 	SleepMS int `json:"sleep_ms,omitempty"`
+}
+
+// SweepParams configures a sweep: either Count seeded random pairs or
+// an explicit Pairs list (mutually exclusive), routed through the
+// topology's mechanism and streamed back in chunks.
+type SweepParams struct {
+	// Count routes this many server-generated pairs: uniform random
+	// (src, dst != src) draws from a stream seeded by Seed, so a sweep
+	// is reproducible across runs and codecs. 1..MaxSweepPairs.
+	Count int `json:"count,omitempty"`
+	// Seed seeds the generated pair stream (only with Count).
+	Seed uint64 `json:"seed,omitempty"`
+	// Chunk is the number of results per streamed chunk frame
+	// (default DefaultSweepChunk, max MaxBatchPairs).
+	Chunk int `json:"chunk,omitempty"`
+	// Pairs is the explicit [src, dst] list to sweep instead of a
+	// generated stream.
+	Pairs [][2]int32 `json:"pairs,omitempty"`
 }
 
 // TopoParams configures a topo-load request. Zero values select the
@@ -172,6 +206,40 @@ type Response struct {
 	Topo     *TopoResult     `json:"topo,omitempty"`
 	Stats    *StatsResult    `json:"stats,omitempty"`
 	Health   *HealthResult   `json:"health,omitempty"`
+
+	// Sweep acknowledges an accepted sweep; SweepChunk and SweepDone
+	// are the frames streamed after it, all carrying the sweep
+	// request's id (docs/SERVICE.md "Streaming sweeps").
+	Sweep      *SweepStart `json:"sweep,omitempty"`
+	SweepChunk *SweepChunk `json:"sweep_chunk,omitempty"`
+	SweepDone  *SweepDone  `json:"sweep_done,omitempty"`
+}
+
+// SweepStart acknowledges an accepted sweep before any results stream.
+type SweepStart struct {
+	TotalPairs int `json:"total_pairs"`
+	ChunkSize  int `json:"chunk_size"`
+	// Chunks is the number of chunk frames that will follow.
+	Chunks int `json:"chunks"`
+}
+
+// SweepChunk carries one streamed slice of sweep results. Entries align
+// with the sweep's pair order (generated or explicit), offset by
+// Seq × the acknowledged chunk size.
+type SweepChunk struct {
+	// Seq numbers the chunk, 0-based and strictly increasing.
+	Seq int `json:"seq"`
+	// Routed counts this chunk's entries carrying a route.
+	Routed  int          `json:"routed"`
+	Entries []BatchEntry `json:"entries"`
+}
+
+// SweepDone is the sweep's final frame: totals over every chunk.
+type SweepDone struct {
+	Chunks int   `json:"chunks"`
+	Routed int64 `json:"routed"`
+	// Failed counts entries that answered a per-pair error code.
+	Failed int64 `json:"failed"`
 }
 
 // ErrorInfo carries a machine-readable code and a human-readable
@@ -283,6 +351,10 @@ type HealthResult struct {
 	// IOTimeouts counts connections closed on a read/write deadline.
 	HandlerTimeouts int64 `json:"handler_timeouts"`
 	IOTimeouts      int64 `json:"io_timeouts"`
+	// SweepsActive is the number of sweeps currently streaming;
+	// MaxSweeps the configured limit (0 = unlimited).
+	SweepsActive int `json:"sweeps_active"`
+	MaxSweeps    int `json:"max_sweeps,omitempty"`
 }
 
 // LatencySummary reports service-latency percentiles in microseconds

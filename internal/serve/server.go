@@ -6,7 +6,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
+	"runtime"
 	"runtime/debug"
 	"sort"
 	"sync"
@@ -37,6 +39,17 @@ type Options struct {
 	// Logf receives one line per lifecycle event (nil = silent).
 	Logf func(format string, args ...any)
 
+	// Stripes shards each topology's mutable routing state (mechanism
+	// State, load estimator, RNG) across this many independently locked
+	// stripes; a source switch hashes to one stripe, so concurrent
+	// adaptive choices on different stripes never contend
+	// (<= 0 = GOMAXPROCS). Each stripe draws from its own
+	// seeds.StripeRNG stream. Striping is statistically transparent:
+	// route-choice distributions match a single-stripe server (pinned
+	// by TestStripedStatisticalEquivalence), though individual choices
+	// differ because each stripe has its own RNG stream.
+	Stripes int
+
 	// MaxConns bounds concurrent connections (0 = unlimited). A
 	// connection over the limit receives one overloaded error frame and
 	// is closed.
@@ -46,6 +59,11 @@ type Options struct {
 	// overloaded immediately — explicit load shedding, never queueing —
 	// and the connection stays open. health is exempt.
 	MaxInFlight int
+	// MaxSweeps bounds concurrently streaming sweeps across all
+	// connections (0 = unlimited). A sweep over the limit is answered
+	// overloaded; accepted sweeps stream without holding an in-flight
+	// slot.
+	MaxSweeps int
 	// ReadTimeout is the maximum time to receive one complete request
 	// frame, and doubles as the idle timeout (0 = none). A slow-loris
 	// sender trickling bytes never completes a frame in time and is
@@ -68,10 +86,24 @@ type Options struct {
 	EnableTestOps bool
 }
 
-// topoEntry is one resident topology: an immutable warm DB read
-// lock-free by every connection, plus the mutable routing state
-// (mechanism State, RNG, load estimator) guarded by mu so concurrent
-// route requests see a consistent choice sequence and fault masks.
+// stripe is one shard of a topology's mutable routing state. The
+// immutable parts (DB, prewarmed View) live on the entry and are read
+// lock-free; everything a Choose call mutates is striped.
+type stripe struct {
+	mu    sync.Mutex
+	state routing.State
+	est   routing.LoadEstimator
+	// ll is est when the estimator is stateful link-load, nil otherwise
+	// (saves a per-link type assertion on the observe path).
+	ll  *routing.LinkLoadEstimator
+	rng *xrand.RNG
+}
+
+// topoEntry is one resident topology: an immutable warm DB and a
+// prewarmed (read-only) routing View shared by every connection, plus
+// the mutable routing state sharded across stripes — a pair hashes to
+// one stripe, so route requests for different stripes proceed in
+// parallel while each stripe still sees a consistent choice sequence.
 type topoEntry struct {
 	key  string
 	topo *jellyfish.Topology
@@ -81,25 +113,49 @@ type topoEntry struct {
 	mechName string
 	estName  string
 
-	mu    sync.Mutex
-	state routing.State
-	est   routing.LoadEstimator
-	rng   *xrand.RNG
+	stripes []stripe
 
 	pairs int
 }
 
-// choose runs one guarded Choose call and feeds the estimator.
+// stripeOf hashes a source switch onto its stripe. Striping by source
+// — not by pair — is load-bearing for statistical fidelity: the
+// link-load estimator prices a path by its first link, a link out of
+// the source, so every count a Choose for src can read must live on
+// src's stripe. observe routes each traversed link's increment to the
+// stripe of the link's own source switch accordingly, keeping striped
+// servers distributionally equivalent to single-stripe ones.
+func (e *topoEntry) stripeOf(n graph.NodeID) *stripe {
+	return &e.stripes[xrand.Mix64(uint64(uint32(n)))%uint64(len(e.stripes))]
+}
+
+// choose runs one guarded Choose call on the source's stripe, then
+// feeds the chosen path to the estimators.
 func (e *topoEntry) choose(src, dst graph.NodeID) (graph.Path, int) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	p, idx := e.state.Choose(e.view, src, dst, e.est, e.rng)
+	st := e.stripeOf(src)
+	st.mu.Lock()
+	p, idx := st.state.Choose(e.view, src, dst, st.est, st.rng)
+	st.mu.Unlock()
 	if p != nil {
-		if obs, ok := e.est.(*routing.LinkLoadEstimator); ok {
-			obs.Observe(p)
-		}
+		e.observe(p)
 	}
 	return p, idx
+}
+
+// observe increments each traversed link on the stripe owning the
+// link's source switch, one lock at a time, so a later Choose on any
+// source sees the pass-through load crossing it regardless of which
+// stripe chose the path.
+func (e *topoEntry) observe(p graph.Path) {
+	if e.stripes[0].ll == nil {
+		return
+	}
+	for i := 0; i+1 < len(p); i++ {
+		st := e.stripeOf(p[i])
+		st.mu.Lock()
+		st.ll.ObserveLink(p[i], p[i+1])
+		st.mu.Unlock()
+	}
 }
 
 // Server is the route-oracle daemon: one goroutine per connection over
@@ -135,6 +191,11 @@ type Server struct {
 	inflight    chan struct{}
 	inflightNow atomic.Int64
 	counters    telemetry.ServiceCounters
+
+	// Sweep state: the concurrent-sweep semaphore (nil = unlimited)
+	// and the streaming-sweep gauge surfaced by health.
+	sweepSem     chan struct{}
+	sweepsActive atomic.Int64
 }
 
 // NewServer returns an idle server with no topologies loaded.
@@ -151,7 +212,7 @@ func NewServer(opts Options) *Server {
 		// land in the overflow bucket and read as "at least the cap".
 		latency: telemetry.NewHistogram(1, 1<<16),
 	}
-	for _, op := range []string{OpRoute, OpRoutesBatch, OpEstimate, OpTopoLoad, OpTopoEvict, OpStats, OpHealth} {
+	for _, op := range []string{OpRoute, OpRoutesBatch, OpEstimate, OpTopoLoad, OpTopoEvict, OpStats, OpHealth, OpSweep} {
 		s.perOp[op] = &atomic.Int64{}
 	}
 	if opts.EnableTestOps {
@@ -160,6 +221,9 @@ func NewServer(opts Options) *Server {
 	}
 	if opts.MaxInFlight > 0 {
 		s.inflight = make(chan struct{}, opts.MaxInFlight)
+	}
+	if opts.MaxSweeps > 0 {
+		s.sweepSem = make(chan struct{}, opts.MaxSweeps)
 	}
 	return s
 }
@@ -171,6 +235,10 @@ func (s *Server) Counters() telemetry.ServiceSnapshot { return s.counters.Snapsh
 // InFlight reports the number of requests currently executing (the
 // health op's in_flight field).
 func (s *Server) InFlight() int { return int(s.inflightNow.Load()) }
+
+// SweepsActive reports the number of sweeps currently streaming (the
+// health op's sweeps_active field).
+func (s *Server) SweepsActive() int { return int(s.sweepsActive.Load()) }
 
 func (s *Server) logf(format string, args ...any) {
 	if s.opts.Logf != nil {
@@ -219,7 +287,10 @@ func (s *Server) Serve(l net.Listener) error {
 
 // refuseConn tells a connection over the limit why it is being dropped:
 // one overloaded error frame (with an empty id — no request was read),
-// then close.
+// then close. The frame is always JSON — the refusal happens before any
+// negotiation byte is read, and a binary client is specified to parse a
+// JSON line in place of the preamble echo as exactly this refusal
+// (docs/SERVICE.md "Negotiation").
 func (s *Server) refuseConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer conn.Close()
@@ -235,7 +306,9 @@ func (s *Server) refuseConn(conn net.Conn) {
 // Stop shuts the server down gracefully: no new connections are
 // accepted, each connection finishes the request it is currently
 // serving (including writing the response) and then closes, and Stop
-// returns once every connection goroutine has exited.
+// returns once every connection goroutine has exited. Streaming sweeps
+// notice the shutdown at their next chunk boundary and abandon the
+// stream (their connection is closing with them).
 func (s *Server) Stop() {
 	s.stopOnce.Do(func() {
 		close(s.quit)
@@ -265,8 +338,138 @@ func (s *Server) Stop() {
 	s.logf("jfserve: stopped (%d requests served)", s.requests.Load())
 }
 
-// handleConn serves one connection: newline-delimited JSON requests,
-// answered in order under the configured read/write deadlines. A
+// errConnDead is returned by connWriter once a write has failed; the
+// connection is closing and later writes are pointless.
+var errConnDead = errors.New("serve: connection writer is dead")
+
+// connWriter serializes every response write on one connection: the
+// request loop and any streaming-sweep goroutines all write through it,
+// so frames never interleave mid-frame. It owns the write deadline, the
+// codec (JSON line vs binary frame) and the io-timeout accounting; the
+// first failed write marks it dead and fails everything after.
+type connWriter struct {
+	s    *Server
+	conn net.Conn
+	bin  bool
+
+	mu      sync.Mutex
+	w       *bufio.Writer
+	enc     *json.Encoder
+	scratch []byte
+	dead    bool
+}
+
+// write encodes and flushes one response in the connection's codec.
+func (cw *connWriter) write(resp *Response) error {
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	if cw.dead {
+		return errConnDead
+	}
+	if cw.s.opts.WriteTimeout > 0 {
+		cw.conn.SetWriteDeadline(time.Now().Add(cw.s.opts.WriteTimeout))
+	}
+	var err error
+	if cw.bin {
+		var payload []byte
+		if payload, err = AppendBinaryResponse(cw.scratch[:0], resp); err == nil {
+			cw.scratch = payload
+			err = cw.writeFrameLocked(payload)
+		}
+	} else {
+		err = cw.enc.Encode(resp)
+	}
+	return cw.finishLocked(err)
+}
+
+// writeRaw flushes one pre-encoded binary response payload. The
+// payload's buffer becomes the writer's scratch afterwards, so a fast
+// path that built it out of takeScratch keeps reusing one allocation.
+func (cw *connWriter) writeRaw(payload []byte) error {
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	cw.scratch = payload[:0]
+	if cw.dead {
+		return errConnDead
+	}
+	if cw.s.opts.WriteTimeout > 0 {
+		cw.conn.SetWriteDeadline(time.Now().Add(cw.s.opts.WriteTimeout))
+	}
+	return cw.finishLocked(cw.writeFrameLocked(payload))
+}
+
+func (cw *connWriter) writeFrameLocked(payload []byte) error {
+	var hdr [4]byte
+	le.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := cw.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := cw.w.Write(payload)
+	return err
+}
+
+// writePreamble echoes the binary preamble (negotiation ack).
+func (cw *connWriter) writePreamble() error {
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	if cw.s.opts.WriteTimeout > 0 {
+		cw.conn.SetWriteDeadline(time.Now().Add(cw.s.opts.WriteTimeout))
+	}
+	_, err := cw.w.Write(BinaryPreamble[:])
+	return cw.finishLocked(err)
+}
+
+func (cw *connWriter) finishLocked(err error) error {
+	if err == nil {
+		err = cw.w.Flush()
+	}
+	if err != nil {
+		if isTimeout(err) {
+			cw.s.counters.IOTimeouts.Add(1)
+		}
+		cw.dead = true
+	}
+	return err
+}
+
+// failed reports whether a write has already failed (used by sweep
+// streamers to stop routing for a connection that is gone).
+func (cw *connWriter) failed() bool {
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	return cw.dead
+}
+
+// writeResult writes one op result (pre-encoded fast-path bytes or a
+// Response) in the connection's codec.
+func (cw *connWriter) writeResult(res *opResult) error {
+	if res.raw != nil {
+		return cw.writeRaw(res.raw)
+	}
+	return cw.write(&res.resp)
+}
+
+// opResult is the outcome of one admitted request.
+type opResult struct {
+	resp Response
+	// raw is a pre-encoded binary response payload (the routes-batch
+	// fast path); when set, resp is ignored.
+	raw []byte
+	// poison closes the connection after the response is written (the
+	// handler panicked).
+	poison bool
+	// after runs once the response has been written (a sweep ack
+	// starting its streamer); discard runs instead when the response is
+	// dropped (write failure, handler timeout), releasing what after
+	// would have consumed.
+	after   func()
+	discard func()
+}
+
+// handleConn serves one connection. The first byte picks the codec: a
+// NUL byte can only open the binary preamble (no JSON line starts with
+// it), anything else is the JSON line protocol. Either way requests are
+// answered in order under the configured read/write deadlines, and a
 // request whose handler panics poisons only this connection: the error
 // frame is written, then the connection closes.
 func (s *Server) handleConn(conn net.Conn) {
@@ -278,15 +481,36 @@ func (s *Server) handleConn(conn net.Conn) {
 		s.connMu.Unlock()
 	}()
 
-	sc := bufio.NewScanner(conn)
+	br := bufio.NewReaderSize(conn, 64<<10)
+	cw := &connWriter{s: s, conn: conn, w: bufio.NewWriterSize(conn, 64<<10)}
+	cw.enc = json.NewEncoder(cw.w)
+
+	if s.opts.ReadTimeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(s.opts.ReadTimeout))
+	}
+	first, err := br.Peek(1)
+	if err != nil {
+		if isTimeout(err) && !s.stopping() {
+			s.counters.IOTimeouts.Add(1)
+		}
+		return
+	}
+	if first[0] == BinaryPreamble[0] {
+		s.serveBinary(conn, br, cw)
+		return
+	}
+	s.serveJSON(conn, br, cw)
+}
+
+// serveJSON runs the newline-delimited JSON v1 loop.
+func (s *Server) serveJSON(conn net.Conn, br *bufio.Reader, cw *connWriter) {
+	sc := bufio.NewScanner(br)
 	sc.Buffer(make([]byte, 64<<10), MaxFrameBytes)
 	// Unlike bufio.ScanLines, never deliver an unterminated final frame:
 	// a read error (EOF, deadline expiry) mid-frame means the frame never
 	// arrived, not that a truncated one did — parsing the fragment would
 	// answer bad-json to a peer that sent no complete request.
 	sc.Split(scanCompleteLines)
-	w := bufio.NewWriterSize(conn, 64<<10)
-	enc := json.NewEncoder(w)
 	for {
 		select {
 		case <-s.quit:
@@ -302,9 +526,8 @@ func (s *Server) handleConn(conn net.Conn) {
 			case errors.Is(err, bufio.ErrTooLong):
 				// The frame boundary is lost; report and drop the
 				// connection rather than misparse the stream.
-				enc.Encode(errResponse("", CodeFrameTooLarge,
-					fmt.Sprintf("request exceeds %d bytes", MaxFrameBytes)))
-				w.Flush()
+				cw.write(respOf(errResponse("", CodeFrameTooLarge,
+					fmt.Sprintf("request exceeds %d bytes", MaxFrameBytes))))
 			case isTimeout(err) && !s.stopping():
 				// The frame did not complete within ReadTimeout — an
 				// idle, stalled or slow-loris sender. Close silently:
@@ -317,26 +540,83 @@ func (s *Server) handleConn(conn net.Conn) {
 		if len(line) == 0 {
 			continue
 		}
-		resp, poison := s.handleFrame(line)
-		if s.opts.WriteTimeout > 0 {
-			conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
-		}
-		if err := enc.Encode(resp); err != nil {
-			if isTimeout(err) {
-				s.counters.IOTimeouts.Add(1)
-			}
-			return
-		}
-		if err := w.Flush(); err != nil {
-			if isTimeout(err) {
-				s.counters.IOTimeouts.Add(1)
-			}
-			return
-		}
-		if poison {
+		res := s.handleFrame(line, cw)
+		if !s.finishResult(cw, &res) {
 			return
 		}
 	}
+}
+
+// serveBinary validates the client preamble, echoes it, then runs the
+// length-prefixed binary v2 loop.
+func (s *Server) serveBinary(conn net.Conn, br *bufio.Reader, cw *connWriter) {
+	cw.bin = true
+	var pre [5]byte
+	if _, err := io.ReadFull(br, pre[:]); err != nil {
+		if isTimeout(err) && !s.stopping() {
+			s.counters.IOTimeouts.Add(1)
+		}
+		return
+	}
+	if pre[1] != BinaryPreamble[1] || pre[2] != BinaryPreamble[2] || pre[3] != BinaryPreamble[3] {
+		cw.write(respOf(errResponse("", CodeBadRequest,
+			"malformed binary preamble; expected NUL + \"JFB\" + version")))
+		return
+	}
+	if pre[4] != BinaryVersion {
+		cw.write(respOf(errResponse("", CodeBadVersion,
+			fmt.Sprintf("binary protocol version %d, server speaks %d", pre[4], BinaryVersion))))
+		return
+	}
+	if cw.writePreamble() != nil {
+		return
+	}
+	var frame []byte
+	for {
+		select {
+		case <-s.quit:
+			return
+		default:
+		}
+		if s.opts.ReadTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.opts.ReadTimeout))
+		}
+		payload, err := ReadFrame(br, &frame)
+		if err != nil {
+			switch {
+			case errors.Is(err, ErrFrameTooLarge):
+				cw.write(respOf(errResponse("", CodeFrameTooLarge,
+					fmt.Sprintf("frame exceeds %d bytes", MaxFrameBytes))))
+			case errors.Is(err, errZeroFrame):
+				// A zero length prefix carries no request and leaves
+				// nothing to resync on; mirror the frame-boundary-lost
+				// policy and drop the connection.
+				cw.write(respOf(errResponse("", CodeBadRequest, "zero-length frame")))
+			case isTimeout(err) && !s.stopping():
+				s.counters.IOTimeouts.Add(1)
+			}
+			return
+		}
+		res := s.handleBinaryFrame(payload, cw)
+		if !s.finishResult(cw, &res) {
+			return
+		}
+	}
+}
+
+// finishResult writes one result and runs its completion hook; false
+// means the connection must close.
+func (s *Server) finishResult(cw *connWriter, res *opResult) bool {
+	if err := cw.writeResult(res); err != nil {
+		if res.discard != nil {
+			res.discard()
+		}
+		return false
+	}
+	if res.after != nil {
+		res.after()
+	}
+	return !res.poison
 }
 
 // scanCompleteLines is bufio.ScanLines minus the final-token rule: data
@@ -364,33 +644,71 @@ func (s *Server) stopping() bool {
 	case <-s.quit:
 		return true
 	default:
-		return false
 	}
+	return false
 }
 
-// handleFrame decodes, admits, dispatches and times one request. poison
-// reports that the connection must close after the response is written
-// (the handler panicked).
-func (s *Server) handleFrame(line []byte) (resp Response, poison bool) {
+// respOf wraps a Response as an opResult (and as a *Response for
+// connWriter.write call sites).
+func respOf(resp Response) *Response { return &resp }
+
+func result(resp Response) opResult { return opResult{resp: resp} }
+
+// handleFrame decodes, admits, dispatches and times one JSON request.
+func (s *Server) handleFrame(line []byte, cw *connWriter) opResult {
 	t0 := time.Now()
-	resp, poison = s.admit(line)
+	res := s.admitJSON(line, cw)
 	s.requests.Add(1)
 	s.latency.Observe(time.Since(t0).Microseconds())
-	return resp, poison
+	return res
 }
 
-// admit parses the envelope and applies the resilience policy — health
-// bypass, load shedding, handler timeout, panic recovery — around the
-// op dispatch.
-func (s *Server) admit(line []byte) (Response, bool) {
+// handleBinaryFrame decodes, admits, dispatches and times one binary
+// request payload.
+func (s *Server) handleBinaryFrame(payload []byte, cw *connWriter) opResult {
+	t0 := time.Now()
+	res := s.admitBinary(payload, cw)
+	s.requests.Add(1)
+	s.latency.Observe(time.Since(t0).Microseconds())
+	return res
+}
+
+// admitJSON parses the JSON envelope and checks the version, then runs
+// the codec-independent admission path.
+func (s *Server) admitJSON(line []byte, cw *connWriter) opResult {
 	var req Request
 	if err := json.Unmarshal(line, &req); err != nil {
-		return errResponse("", CodeBadJSON, err.Error()), false
+		return result(errResponse("", CodeBadJSON, err.Error()))
 	}
 	if req.V != ProtocolVersion {
-		return errResponse(req.ID, CodeBadVersion,
-			fmt.Sprintf("request version %d, server speaks %d", req.V, ProtocolVersion)), false
+		return result(errResponse(req.ID, CodeBadVersion,
+			fmt.Sprintf("request version %d, server speaks %d", req.V, ProtocolVersion)))
 	}
+	return s.admit(req, cw)
+}
+
+// admitBinary decodes one binary payload and runs the same admission
+// path (the binary protocol's version was negotiated in the preamble,
+// so there is no per-request version check). A well-framed payload that
+// does not decode answers bad-request and the connection stays open.
+// Batched lookups with no handler timeout take an allocation-free fast
+// path instead of materializing a Request.
+func (s *Server) admitBinary(payload []byte, cw *connWriter) opResult {
+	if s.opts.HandlerTimeout <= 0 && len(payload) > 9 && payload[8] == binOpBatch {
+		return s.binaryBatch(payload, cw)
+	}
+	id, req, err := DecodeBinaryRequest(payload)
+	if err != nil {
+		return result(errResponse(binFormatID(id), CodeBadRequest,
+			"malformed binary request: "+err.Error()))
+	}
+	return s.admit(req, cw)
+}
+
+// admit applies the resilience policy — health bypass, load shedding,
+// handler timeout, panic recovery — around the op dispatch, identically
+// for both codecs.
+func (s *Server) admit(req Request, cw *connWriter) opResult {
 	if c, ok := s.perOp[req.Op]; ok {
 		c.Add(1)
 	}
@@ -398,52 +716,53 @@ func (s *Server) admit(line []byte) (Response, bool) {
 	// exempt from the in-flight limit and the handler timeout. It only
 	// reads atomics — cheap enough to never need shedding.
 	if req.Op == OpHealth {
-		return s.handleHealth(req), false
+		return result(s.handleHealth(req))
 	}
 	if s.inflight != nil {
 		select {
 		case s.inflight <- struct{}{}:
 		default:
 			s.counters.Shed.Add(1)
-			return errResponse(req.ID, CodeOverloaded,
-				fmt.Sprintf("in-flight limit %d reached; retry with backoff", s.opts.MaxInFlight)), false
+			return result(errResponse(req.ID, CodeOverloaded,
+				fmt.Sprintf("in-flight limit %d reached; retry with backoff", s.opts.MaxInFlight)))
 		}
 	}
 	if s.opts.HandlerTimeout <= 0 {
 		// No timeout: run inline, keeping the hot path goroutine-free.
-		resp, panicked := s.runOp(req)
-		return resp, panicked
+		return s.runOp(req, cw)
 	}
-	type result struct {
-		resp     Response
-		panicked bool
-	}
-	done := make(chan result, 1)
+	done := make(chan opResult, 1)
 	go func() {
-		resp, panicked := s.runOp(req)
-		done <- result{resp, panicked}
+		done <- s.runOp(req, cw)
 	}()
 	timer := time.NewTimer(s.opts.HandlerTimeout)
 	defer timer.Stop()
 	select {
 	case r := <-done:
-		return r.resp, r.panicked
+		return r
 	case <-timer.C:
 		// The handler keeps running detached, holding its in-flight
-		// slot until it finishes; its result is dropped. A detached
-		// panic is still recovered and counted but can no longer poison
-		// this connection — the error frame it would ride out on was
-		// already replaced by this timeout.
+		// slot until it finishes; its result is dropped — including any
+		// completion hook: a timed-out sweep admission never streams,
+		// and the drain below releases its sweep slot. A detached panic
+		// is still recovered and counted but can no longer poison this
+		// connection — the error frame it would ride out on was already
+		// replaced by this timeout.
 		s.counters.HandlerTimeouts.Add(1)
-		return errResponse(req.ID, CodeTimeout,
-			fmt.Sprintf("handler exceeded the %s request timeout", s.opts.HandlerTimeout)), false
+		go func() {
+			if r := <-done; r.discard != nil {
+				r.discard()
+			}
+		}()
+		return result(errResponse(req.ID, CodeTimeout,
+			fmt.Sprintf("handler exceeded the %s request timeout", s.opts.HandlerTimeout)))
 	}
 }
 
 // runOp executes one op with panic recovery, accounting it against the
 // in-flight gauge and releasing the in-flight slot (if limits are on)
-// when the handler returns. panicked=true poisons the connection.
-func (s *Server) runOp(req Request) (resp Response, panicked bool) {
+// when the handler returns. A poisoned result closes the connection.
+func (s *Server) runOp(req Request, cw *connWriter) (res opResult) {
 	s.inflightNow.Add(1)
 	defer func() {
 		s.inflightNow.Add(-1)
@@ -453,39 +772,145 @@ func (s *Server) runOp(req Request) (resp Response, panicked bool) {
 		if r := recover(); r != nil {
 			s.counters.Panics.Add(1)
 			s.logf("jfserve: recovered panic in %s handler: %v\n%s", req.Op, r, debug.Stack())
-			resp = errResponse(req.ID, CodeInternal,
-				fmt.Sprintf("handler panicked: %v; closing this connection", r))
-			panicked = true
+			res = opResult{resp: errResponse(req.ID, CodeInternal,
+				fmt.Sprintf("handler panicked: %v; closing this connection", r)), poison: true}
 		}
 	}()
-	return s.dispatch(req), false
+	return s.dispatch(req, cw)
 }
 
-func (s *Server) dispatch(req Request) Response {
+func (s *Server) dispatch(req Request, cw *connWriter) opResult {
 	switch req.Op {
 	case OpRoute:
-		return s.handleRoute(req)
+		return result(s.handleRoute(req))
 	case OpRoutesBatch:
-		return s.handleRoutesBatch(req)
+		return result(s.handleRoutesBatch(req))
 	case OpEstimate:
-		return s.handleEstimate(req)
+		return result(s.handleEstimate(req))
 	case OpTopoLoad:
-		return s.handleTopoLoad(req)
+		return result(s.handleTopoLoad(req))
 	case OpTopoEvict:
-		return s.handleTopoEvict(req)
+		return result(s.handleTopoEvict(req))
 	case OpStats:
-		return s.handleStats(req)
+		return result(s.handleStats(req))
+	case OpSweep:
+		return s.handleSweep(req, cw)
 	case OpTestSleep:
 		if s.opts.EnableTestOps {
 			time.Sleep(time.Duration(req.SleepMS) * time.Millisecond)
-			return okResponse(req.ID)
+			return result(okResponse(req.ID))
 		}
 	case OpTestCrash:
 		if s.opts.EnableTestOps {
 			panic("injected test-crash")
 		}
 	}
-	return errResponse(req.ID, CodeUnknownOp, fmt.Sprintf("unknown op %q", req.Op))
+	return result(errResponse(req.ID, CodeUnknownOp, fmt.Sprintf("unknown op %q", req.Op)))
+}
+
+// binaryBatch is the binary routes-batch fast path: it routes straight
+// off the request payload and encodes the response in place, so a
+// batched lookup allocates nothing per pair. It mirrors the generic
+// path exactly — same admission order, same error codes, same response
+// bytes — which the differential suite pins.
+func (s *Server) binaryBatch(payload []byte, cw *connWriter) (res opResult) {
+	id := le.Uint64(payload)
+	fail := func(code, msg string) opResult {
+		return result(errResponse(binFormatID(id), code, msg))
+	}
+	// Layout after the id and opcode: u16 topo length, topo bytes,
+	// u32 pair count, count × (u32 src, u32 dst) — and nothing else.
+	p := payload[9:]
+	if len(p) < 6 {
+		return fail(CodeBadRequest, "malformed binary request: "+errTruncated.Error())
+	}
+	tlen := int(le.Uint16(p))
+	if tlen > maxBinaryString || len(p) < 2+tlen+4 {
+		return fail(CodeBadRequest, "malformed binary request: "+errTruncated.Error())
+	}
+	topo := p[2 : 2+tlen]
+	n := int(le.Uint32(p[2+tlen:]))
+	body := p[2+tlen+4:]
+	if 8*n != len(body) {
+		if 8*n > len(body) {
+			return fail(CodeBadRequest, "malformed binary request: "+errTruncated.Error())
+		}
+		return fail(CodeBadRequest, "malformed binary request: "+errTrailing.Error())
+	}
+	if c := s.perOp[OpRoutesBatch]; c != nil {
+		c.Add(1)
+	}
+	if s.inflight != nil {
+		select {
+		case s.inflight <- struct{}{}:
+		default:
+			s.counters.Shed.Add(1)
+			return fail(CodeOverloaded,
+				fmt.Sprintf("in-flight limit %d reached; retry with backoff", s.opts.MaxInFlight))
+		}
+	}
+	s.inflightNow.Add(1)
+	defer func() {
+		s.inflightNow.Add(-1)
+		if s.inflight != nil {
+			<-s.inflight
+		}
+		if r := recover(); r != nil {
+			s.counters.Panics.Add(1)
+			s.logf("jfserve: recovered panic in %s handler: %v\n%s", OpRoutesBatch, r, debug.Stack())
+			res = opResult{resp: errResponse(binFormatID(id), CodeInternal,
+				fmt.Sprintf("handler panicked: %v; closing this connection", r)), poison: true}
+		}
+	}()
+	if n == 0 {
+		return fail(CodeBadRequest, "routes-batch needs a non-empty pairs array")
+	}
+	if n > MaxBatchPairs {
+		return fail(CodeBatchTooLarge,
+			fmt.Sprintf("%d pairs exceed the %d-pair batch limit", n, MaxBatchPairs))
+	}
+	e, ok := s.entry(string(topo))
+	if !ok {
+		return fail(CodeUnknownTopo, fmt.Sprintf("topology %q not loaded", topo))
+	}
+	out := append(cw.takeScratch(), payload[:8]...) // echo the id
+	out = append(out, binKindBatch)
+	routedOff := len(out)
+	out = appendU32(out, 0) // routed, patched below
+	out = appendU32(out, uint32(n))
+	routed := 0
+	for i := 0; i < n; i++ {
+		src := int32(le.Uint32(body[8*i:]))
+		dst := int32(le.Uint32(body[8*i+4:]))
+		r, code, err := s.routeOne(e, src, dst)
+		if err != nil {
+			out = append(out, 0)
+			out = appendU16(out, uint16(len(code)))
+			out = append(out, code...)
+			continue
+		}
+		out = append(out, 1)
+		out = appendU16(out, uint16(len(r.Path)))
+		for _, nd := range r.Path {
+			out = appendU32(out, uint32(nd))
+		}
+		out = appendU32(out, uint32(int32(r.Index)))
+		routed++
+	}
+	le.PutUint32(out[routedOff:], uint32(routed))
+	return opResult{raw: out}
+}
+
+// takeScratch hands the writer's scratch buffer (empty, capacity
+// retained) to the fast path; writeRaw puts the grown buffer back, so
+// steady-state batches reuse one allocation. Only the connection's
+// request loop calls this, and only for results it immediately writes.
+func (cw *connWriter) takeScratch() []byte {
+	cw.mu.Lock()
+	b := cw.scratch[:0]
+	cw.scratch = nil
+	cw.mu.Unlock()
+	return b
 }
 
 func (s *Server) handleHealth(req Request) Response {
@@ -510,6 +935,8 @@ func (s *Server) handleHealth(req Request) Response {
 		Panics:          c.Panics,
 		HandlerTimeouts: c.HandlerTimeouts,
 		IOTimeouts:      c.IOTimeouts,
+		SweepsActive:    int(s.sweepsActive.Load()),
+		MaxSweeps:       s.opts.MaxSweeps,
 	}
 	return resp
 }
@@ -591,6 +1018,144 @@ func (s *Server) handleRoutesBatch(req Request) Response {
 	resp := okResponse(req.ID)
 	resp.Batch = &out
 	return resp
+}
+
+// handleSweep admits one sweep: validates it, claims a sweep slot and
+// acknowledges with the chunking plan. The streamer itself starts from
+// the result's after hook — only once the ack frame is on the wire, so
+// chunk frames can never precede it.
+func (s *Server) handleSweep(req Request, cw *connWriter) opResult {
+	sp := req.Sweep
+	if sp == nil {
+		return result(errResponse(req.ID, CodeBadRequest, "sweep needs sweep params"))
+	}
+	chunk := sp.Chunk
+	if chunk == 0 {
+		chunk = DefaultSweepChunk
+	}
+	if chunk < 1 || chunk > MaxBatchPairs {
+		return result(errResponse(req.ID, CodeBadRequest,
+			fmt.Sprintf("sweep chunk must be 1..%d", MaxBatchPairs)))
+	}
+	var total int
+	switch {
+	case sp.Count > 0 && len(sp.Pairs) > 0:
+		return result(errResponse(req.ID, CodeBadRequest, "sweep takes count or pairs, not both"))
+	case sp.Count > 0:
+		if sp.Count > MaxSweepPairs {
+			return result(errResponse(req.ID, CodeBadRequest,
+				fmt.Sprintf("%d pairs exceed the %d-pair sweep limit", sp.Count, MaxSweepPairs)))
+		}
+		total = sp.Count
+	case len(sp.Pairs) > 0:
+		if len(sp.Pairs) > MaxSweepPairs {
+			return result(errResponse(req.ID, CodeBadRequest,
+				fmt.Sprintf("%d pairs exceed the %d-pair sweep limit", len(sp.Pairs), MaxSweepPairs)))
+		}
+		total = len(sp.Pairs)
+	default:
+		return result(errResponse(req.ID, CodeBadRequest, "sweep needs count or pairs"))
+	}
+	e, ok := s.entry(req.Topo)
+	if !ok {
+		return result(errResponse(req.ID, CodeUnknownTopo, fmt.Sprintf("topology %q not loaded", req.Topo)))
+	}
+	if sp.Count > 0 && e.topo.N < 2 {
+		return result(errResponse(req.ID, CodeBadRequest,
+			"generated sweep pairs need a topology with at least 2 switches"))
+	}
+	if s.sweepSem != nil {
+		select {
+		case s.sweepSem <- struct{}{}:
+		default:
+			s.counters.Shed.Add(1)
+			return result(errResponse(req.ID, CodeOverloaded,
+				fmt.Sprintf("sweep limit %d reached; retry with backoff", s.opts.MaxSweeps)))
+		}
+	}
+	s.sweepsActive.Add(1)
+	release := func() {
+		s.sweepsActive.Add(-1)
+		if s.sweepSem != nil {
+			<-s.sweepSem
+		}
+	}
+	chunks := (total + chunk - 1) / chunk
+	resp := okResponse(req.ID)
+	resp.Sweep = &SweepStart{TotalPairs: total, ChunkSize: chunk, Chunks: chunks}
+	id, params := req.ID, *sp
+	return opResult{
+		resp: resp,
+		after: func() {
+			s.wg.Add(1)
+			go s.runSweep(e, cw, id, params, chunk, total, release)
+		},
+		discard: release,
+	}
+}
+
+// runSweep streams one sweep's chunk frames through the connection
+// writer, interleaving with the request loop's responses. It stops
+// early — abandoning the stream, no SweepDone — when the server is
+// stopping or the connection's writer has died; either way the
+// connection is going down with it.
+func (s *Server) runSweep(e *topoEntry, cw *connWriter, id string, sp SweepParams, chunk, total int, release func()) {
+	defer s.wg.Done()
+	defer release()
+	var rng *xrand.RNG
+	if sp.Count > 0 {
+		// The generated pair stream is seeded server-side, so the same
+		// (seed, count) sweep routes the same pairs on every run and
+		// over either codec.
+		rng = xrand.NewPair(sp.Seed, 0x73777065) // "swpe"
+	}
+	nodes := e.topo.N
+	// Entries and routes are reused across chunks: the writer encodes
+	// synchronously, so nothing references them once write returns.
+	entries := make([]BatchEntry, chunk)
+	routes := make([]RouteResult, chunk)
+	var seq int
+	var routed, failed int64
+	for off := 0; off < total; off += chunk {
+		if s.stopping() || cw.failed() {
+			return
+		}
+		n := chunk
+		if total-off < n {
+			n = total - off
+		}
+		chunkRouted, nr := 0, 0
+		for i := 0; i < n; i++ {
+			var src, dst int32
+			if rng != nil {
+				src = int32(rng.IntN(nodes))
+				dst = int32(rng.IntNExcept(nodes, int(src)))
+			} else {
+				pr := sp.Pairs[off+i]
+				src, dst = pr[0], pr[1]
+			}
+			r, code, err := s.routeOne(e, src, dst)
+			if err != nil {
+				entries[i] = BatchEntry{Err: code}
+				failed++
+				continue
+			}
+			routes[nr] = r
+			entries[i] = BatchEntry{Route: &routes[nr]}
+			nr++
+			chunkRouted++
+			routed++
+		}
+		resp := okResponse(id)
+		resp.SweepChunk = &SweepChunk{Seq: seq, Routed: chunkRouted, Entries: entries[:n]}
+		if cw.write(&resp) != nil {
+			return
+		}
+		seq++
+	}
+	resp := okResponse(id)
+	resp.SweepDone = &SweepDone{Chunks: seq, Routed: routed, Failed: failed}
+	cw.write(&resp)
 }
 
 func (s *Server) handleEstimate(req Request) Response {
@@ -729,8 +1294,7 @@ func (s *Server) LoadTopology(p TopoParams) (TopoResult, error) {
 	if err != nil {
 		return TopoResult{}, &paramError{err}
 	}
-	est, err := routing.EstimatorByName(p.Estimator)
-	if err != nil {
+	if _, err := routing.EstimatorByName(p.Estimator); err != nil {
 		return TopoResult{}, &paramError{err}
 	}
 
@@ -765,16 +1329,38 @@ func (s *Server) LoadTopology(p TopoParams) (TopoResult, error) {
 	}
 	loadSec := time.Since(t0).Seconds()
 
+	// The View is shared by every stripe and prewarmed so Choose calls
+	// only ever read it; all mutable routing state is per-stripe, each
+	// stripe with its own independently seeded RNG stream and its own
+	// estimator instance.
+	view := &routing.View{Provider: db, NumNodes: params.N}
+	view.Prewarm()
+	nstripes := s.opts.Stripes
+	if nstripes <= 0 {
+		nstripes = runtime.GOMAXPROCS(0)
+	}
+	stripes := make([]stripe, nstripes)
+	for i := range stripes {
+		est, err := routing.EstimatorByName(p.Estimator)
+		if err != nil {
+			return TopoResult{}, &paramError{err}
+		}
+		ll, _ := est.(*routing.LinkLoadEstimator)
+		stripes[i] = stripe{
+			state: mech.NewState(),
+			est:   est,
+			ll:    ll,
+			rng:   seeds.StripeRNG(pathSeed, topo.G.Fingerprint(), i),
+		}
+	}
 	e := &topoEntry{
 		key:      key,
 		topo:     topo,
 		db:       db,
-		view:     &routing.View{Provider: db, NumNodes: params.N},
+		view:     view,
 		mechName: mech.Name(),
 		estName:  p.Estimator,
-		state:    mech.NewState(),
-		est:      est,
-		rng:      xrand.NewPair(pathSeed, topo.G.Fingerprint()),
+		stripes:  stripes,
 		pairs:    db.NumPairs(),
 	}
 	s.mu.Lock()
@@ -786,8 +1372,8 @@ func (s *Server) LoadTopology(p TopoParams) (TopoResult, error) {
 	}
 	s.topos[key] = e
 	s.mu.Unlock()
-	s.logf("jfserve: loaded %s as %s (%d pairs, cache hit %v, %.2fs)",
-		params, key, e.pairs, cacheStats.Hit, loadSec)
+	s.logf("jfserve: loaded %s as %s (%d pairs, %d stripes, cache hit %v, %.2fs)",
+		params, key, e.pairs, nstripes, cacheStats.Hit, loadSec)
 	return TopoResult{Key: key, Switches: params.N, Terminals: topo.NumTerminals(),
 		Pairs: e.pairs, K: p.K, CacheHit: cacheStats.Hit, LoadSeconds: loadSec}, nil
 }

@@ -1,0 +1,349 @@
+package serve_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/serve/client"
+)
+
+// TestSweepGenerated runs a seeded generated sweep over the binary
+// codec and checks the ack's chunking plan, the streamed chunk shapes
+// and the final totals against each other.
+func TestSweepGenerated(t *testing.T) {
+	c := dialBin(t)
+	var chunks []serve.SweepChunk
+	start, done, err := c.Sweep(bg, testKey, serve.SweepParams{Count: 2500, Seed: 7},
+		func(ch serve.SweepChunk) error {
+			// Entries are reused across chunk frames server-side; copy
+			// nothing, record shapes.
+			chunks = append(chunks, serve.SweepChunk{Seq: ch.Seq, Routed: ch.Routed,
+				Entries: make([]serve.BatchEntry, len(ch.Entries))})
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := serve.SweepStart{TotalPairs: 2500, ChunkSize: serve.DefaultSweepChunk, Chunks: 3}
+	if start != want {
+		t.Fatalf("ack %+v, want %+v", start, want)
+	}
+	if len(chunks) != 3 {
+		t.Fatalf("got %d chunks, want 3", len(chunks))
+	}
+	for i, ch := range chunks {
+		wantLen := serve.DefaultSweepChunk
+		if i == 2 {
+			wantLen = 2500 - 2*serve.DefaultSweepChunk
+		}
+		if len(ch.Entries) != wantLen {
+			t.Errorf("chunk %d carries %d entries, want %d", i, len(ch.Entries), wantLen)
+		}
+	}
+	// The small topology stores all ordered pairs and generated pairs
+	// never alias src == dst, so every pair routes.
+	if done.Chunks != 3 || done.Routed != 2500 || done.Failed != 0 {
+		t.Fatalf("done %+v, want 3 chunks, 2500 routed, 0 failed", done)
+	}
+}
+
+// TestSweepExplicitPairs sweeps an explicit pair list whose bad entries
+// (self-pair, out-of-range switch) must answer per-pair error codes
+// without failing the sweep.
+func TestSweepExplicitPairs(t *testing.T) {
+	c := dialBin(t)
+	pairs := [][2]int32{{0, 1}, {2, 2}, {5, 3}, {9999, 0}}
+	var entries []serve.BatchEntry
+	start, done, err := c.Sweep(bg, testKey, serve.SweepParams{Pairs: pairs, Chunk: 3},
+		func(ch serve.SweepChunk) error {
+			for _, e := range ch.Entries {
+				cp := e
+				if e.Route != nil {
+					r := *e.Route
+					cp.Route = &r
+				}
+				entries = append(entries, cp)
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start.TotalPairs != 4 || start.ChunkSize != 3 || start.Chunks != 2 {
+		t.Fatalf("ack %+v, want 4 pairs in 2 chunks of 3", start)
+	}
+	if done.Routed != 2 || done.Failed != 2 {
+		t.Fatalf("done %+v, want 2 routed and 2 failed", done)
+	}
+	if len(entries) != 4 {
+		t.Fatalf("streamed %d entries, want 4", len(entries))
+	}
+	for _, i := range []int{0, 2} {
+		if entries[i].Route == nil {
+			t.Errorf("entry %d for pair %v answered %q, want a route", i, pairs[i], entries[i].Err)
+		}
+	}
+	for _, i := range []int{1, 3} {
+		if entries[i].Err != serve.CodeBadPair {
+			t.Errorf("entry %d for pair %v answered %q, want %s", i, pairs[i], entries[i].Err, serve.CodeBadPair)
+		}
+	}
+}
+
+// TestSweepJSON runs a sweep over the v1 JSON codec: streaming is not
+// binary-only.
+func TestSweepJSON(t *testing.T) {
+	c := dial(t)
+	var chunks int
+	start, done, err := c.Sweep(bg, testKey, serve.SweepParams{Count: 300, Seed: 9, Chunk: 128},
+		func(serve.SweepChunk) error { chunks++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start.Chunks != 3 || chunks != 3 {
+		t.Fatalf("ack promises %d chunks, %d streamed, want 3", start.Chunks, chunks)
+	}
+	if done.Routed+done.Failed != 300 {
+		t.Fatalf("done %+v, want 300 total", done)
+	}
+}
+
+// TestSweepBadRequest covers every sweep admission error; each must be
+// answered before any state changes, leaving the connection usable.
+func TestSweepBadRequest(t *testing.T) {
+	c := dialBin(t)
+	cases := []struct {
+		name string
+		topo string
+		p    serve.SweepParams
+		code string
+	}{
+		{"count-and-pairs", testKey, serve.SweepParams{Count: 5, Pairs: [][2]int32{{0, 1}}}, serve.CodeBadRequest},
+		{"neither", testKey, serve.SweepParams{}, serve.CodeBadRequest},
+		{"chunk-too-large", testKey, serve.SweepParams{Count: 5, Chunk: serve.MaxBatchPairs + 1}, serve.CodeBadRequest},
+		{"count-too-large", testKey, serve.SweepParams{Count: serve.MaxSweepPairs + 1}, serve.CodeBadRequest},
+		// An explicit pair list over MaxSweepPairs cannot be tested over
+		// the wire: at 8 bytes a pair it blows MaxFrameBytes first.
+		{"unknown-topo", "nope", serve.SweepParams{Count: 5}, serve.CodeUnknownTopo},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := c.Sweep(bg, tc.topo, tc.p, nil)
+			wantCode(t, err, tc.code)
+		})
+	}
+	// The connection survived all of it.
+	if _, err := c.Health(bg); err != nil {
+		t.Fatalf("connection unusable after rejected sweeps: %v", err)
+	}
+}
+
+// TestSweepMaxSweeps pins the concurrent-sweep limit: while one sweep
+// streams (held open by a client that stops draining), a second
+// submission is shed with overloaded, health reports the gauge, and the
+// slot frees once the first sweep completes.
+func TestSweepMaxSweeps(t *testing.T) {
+	srv, sock := startServer(t, serve.Options{MaxSweeps: 1})
+	res, err := srv.LoadTopology(serve.TopoParams{Topo: "small", K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c1, err := client.Dial(bg, "unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c1.Close() })
+	gotChunk := make(chan struct{})
+	release := make(chan struct{})
+	sweepDone := make(chan error, 1)
+	go func() {
+		first := true
+		_, _, err := c1.Sweep(bg, res.Key, serve.SweepParams{Count: 100000, Seed: 1},
+			func(serve.SweepChunk) error {
+				if first {
+					first = false
+					close(gotChunk)
+					<-release
+				}
+				return nil
+			})
+		sweepDone <- err
+	}()
+	<-gotChunk
+	waitFor(t, func() bool { return srv.SweepsActive() == 1 })
+
+	c2, err := client.Dial(bg, "unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c2.Close() })
+	_, _, err = c2.Sweep(bg, res.Key, serve.SweepParams{Count: 10}, nil)
+	wantCode(t, err, serve.CodeOverloaded)
+
+	// health is exempt from shedding and must report the gauge.
+	h, err := c2.Health(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.SweepsActive != 1 || h.MaxSweeps != 1 {
+		t.Fatalf("health reports %d/%d sweeps, want 1/1", h.SweepsActive, h.MaxSweeps)
+	}
+
+	close(release)
+	if err := <-sweepDone; err != nil {
+		t.Fatalf("held sweep failed: %v", err)
+	}
+	waitFor(t, func() bool { return srv.SweepsActive() == 0 })
+	if _, _, err := c2.Sweep(bg, res.Key, serve.SweepParams{Count: 10}, nil); err != nil {
+		t.Fatalf("sweep after slot freed: %v", err)
+	}
+}
+
+// --- sweep retry semantics ----------------------------------------------------
+
+// sweepImpostor is a minimal JSON jfserve stand-in that counts sweep
+// submissions and answers each according to a per-submission script —
+// the only way to observe whether the client resubmits.
+type sweepImpostor struct {
+	ln          net.Listener
+	submissions atomic.Int32
+	// behave answers submission n (1-based) on conn.
+	behave func(n int, conn net.Conn, req serve.Request)
+}
+
+func startSweepImpostor(t *testing.T, behave func(n int, conn net.Conn, req serve.Request)) (*sweepImpostor, string) {
+	t.Helper()
+	sock := t.TempDir() + "/impostor.sock"
+	ln, err := net.Listen("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := &sweepImpostor{ln: ln, behave: behave}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go imp.serve(conn)
+		}
+	}()
+	return imp, sock
+}
+
+func (imp *sweepImpostor) serve(conn net.Conn) {
+	defer conn.Close()
+	dec := json.NewDecoder(conn)
+	for {
+		var req serve.Request
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		if req.Op != serve.OpSweep {
+			writeFrame(conn, serve.Response{V: 1, ID: req.ID, OK: true})
+			continue
+		}
+		imp.behave(int(imp.submissions.Add(1)), conn, req)
+	}
+}
+
+func writeFrame(conn net.Conn, resp serve.Response) {
+	b, err := json.Marshal(resp)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Fprintf(conn, "%s\n", b)
+}
+
+func sweepAck(conn net.Conn, id string, total, chunk int) {
+	resp := serve.Response{V: 1, ID: id, OK: true,
+		Sweep: &serve.SweepStart{TotalPairs: total, ChunkSize: chunk, Chunks: (total + chunk - 1) / chunk}}
+	writeFrame(conn, resp)
+}
+
+func sweepChunkFrame(conn net.Conn, id string, seq, n int) {
+	entries := make([]serve.BatchEntry, n)
+	for i := range entries {
+		entries[i] = serve.BatchEntry{Route: &serve.RouteResult{Path: []int32{0, 1}, Index: 0, Hops: 1}}
+	}
+	resp := serve.Response{V: 1, ID: id, OK: true,
+		SweepChunk: &serve.SweepChunk{Seq: seq, Routed: n, Entries: entries}}
+	writeFrame(conn, resp)
+}
+
+var testRetry = client.RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond, Seed: 1}
+
+// TestSweepRetryPreAck: a submission refused with overloaded executed
+// nothing, so the client must resubmit under its retry policy and the
+// second acceptance must stream to completion.
+func TestSweepRetryPreAck(t *testing.T) {
+	imp, sock := startSweepImpostor(t, func(n int, conn net.Conn, req serve.Request) {
+		if n == 1 {
+			writeFrame(conn, serve.Response{V: 1, ID: req.ID, OK: false,
+				Error: &serve.ErrorInfo{Code: serve.CodeOverloaded, Message: "busy"}})
+			return
+		}
+		sweepAck(conn, req.ID, 4, 2)
+		sweepChunkFrame(conn, req.ID, 0, 2)
+		sweepChunkFrame(conn, req.ID, 1, 2)
+		writeFrame(conn, serve.Response{V: 1, ID: req.ID, OK: true,
+			SweepDone: &serve.SweepDone{Chunks: 2, Routed: 4}})
+	})
+	c, err := client.DialRetry(bg, "unix", sock, testRetry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	_, done, err := c.Sweep(bg, "t", serve.SweepParams{Count: 4}, nil)
+	if err != nil {
+		t.Fatalf("sweep after pre-ack overloaded: %v", err)
+	}
+	if done.Routed != 4 {
+		t.Fatalf("done %+v, want 4 routed", done)
+	}
+	if got := imp.submissions.Load(); got != 2 {
+		t.Fatalf("server saw %d submissions, want 2 (one refused, one served)", got)
+	}
+}
+
+// TestSweepRetryMidStream is the regression test for non-idempotent
+// resubmission: once the server has acked a sweep, pairs are being
+// routed (adaptive state advances), so a mid-stream transport failure
+// must surface as an error WITHOUT the client resubmitting — even
+// under a retry policy that would happily redial for idempotent ops.
+func TestSweepRetryMidStream(t *testing.T) {
+	imp, sock := startSweepImpostor(t, func(n int, conn net.Conn, req serve.Request) {
+		sweepAck(conn, req.ID, 4, 2)
+		sweepChunkFrame(conn, req.ID, 0, 2)
+		conn.Close() // die mid-stream, after the point of no return
+	})
+	c, err := client.DialRetry(bg, "unix", sock, testRetry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	start, _, err := c.Sweep(bg, "t", serve.SweepParams{Count: 4}, nil)
+	if err == nil {
+		t.Fatal("mid-stream disconnect reported no error")
+	}
+	if start.TotalPairs != 4 {
+		t.Fatalf("ack not surfaced alongside the error: %+v", start)
+	}
+	if got := imp.submissions.Load(); got != 1 {
+		t.Fatalf("server saw %d submissions, want exactly 1 (no resubmit after ack)", got)
+	}
+	// The client is still usable for idempotent ops: those DO redial.
+	if _, err := c.Do(bg, serve.Request{Op: serve.OpHealth}); err != nil {
+		t.Fatalf("health after failed sweep: %v", err)
+	}
+	if got := imp.submissions.Load(); got != 1 {
+		t.Fatalf("redial resubmitted the sweep: %d submissions", got)
+	}
+}
